@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper at paper
+scale, asserts its qualitative claim, and records the rendered table under
+``benchmarks/results/`` (the source of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Save an ExperimentResult's rendering to benchmarks/results/<id>.txt."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+        print()
+        print(result.render())
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

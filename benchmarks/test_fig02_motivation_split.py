@@ -1,0 +1,20 @@
+"""Fig. 2: static split sweep for 2MM vs SYRK (motivation)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig2_split_sweep
+
+
+def test_fig2_best_split_differs_per_application(benchmark, record_result):
+    result = run_once(benchmark, fig2_split_sweep)
+    record_result(result)
+
+    twomm = result.column("2mm")
+    syrk = result.column("syrk")
+    # 2MM: monotone improvement toward 100% GPU; best point is the last.
+    assert twomm.index(min(twomm)) == len(twomm) - 1
+    # SYRK: the best split is strictly interior.
+    best_syrk = syrk.index(min(syrk))
+    assert 0 < best_syrk < len(syrk) - 1
+    # And a single split cannot satisfy both applications.
+    assert best_syrk != twomm.index(min(twomm))

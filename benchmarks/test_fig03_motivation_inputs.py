@@ -1,0 +1,21 @@
+"""Fig. 3: SYRK's best static split moves with the input size."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig3_syrk_input_sizes
+
+
+def test_fig3_best_split_is_input_dependent(benchmark, record_result):
+    result = run_once(benchmark, fig3_syrk_input_sizes)
+    record_result(result)
+
+    small = result.column(result.headers[1])
+    large = result.column(result.headers[2])
+    best_small = small.index(min(small))
+    best_large = large.index(min(large))
+    # Paper: ~60/40 for the small input vs ~40/60 for the large one —
+    # the larger input wants strictly more CPU share.
+    assert best_large < best_small
+    # Both optima are cooperative (interior).
+    assert 0 < best_small < len(small) - 1
+    assert 0 < best_large < len(large) - 1

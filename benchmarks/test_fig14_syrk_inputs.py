@@ -1,0 +1,25 @@
+"""Fig. 14: SYRK across input sizes."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig14_syrk_inputs
+from repro.harness.report import geomean
+
+
+def test_fig14_syrk_input_sweep(benchmark, record_result):
+    result = run_once(benchmark, fig14_syrk_inputs)
+    record_result(result)
+
+    # FluidiCL beats the best single device at every size...
+    for row in result.rows:
+        size, _cpu, _gpu, fluidicl = row
+        assert fluidicl < 1.0, f"n={size}: fluidicl {fluidicl:.3f}"
+
+    # ...with a geomean advantage near the paper's ~1.4x.
+    advantage = geomean([1.0 / row[3] for row in result.rows])
+    assert 1.25 <= advantage <= 1.7
+
+    # The preferred device flips across the sweep (small: GPU; large: CPU).
+    first, last = result.rows[0], result.rows[-1]
+    assert first[2] < first[1]   # small size: GPU beats CPU
+    assert last[1] < last[2]     # large size: CPU beats GPU

@@ -1,0 +1,29 @@
+"""Fig. 15: effect of in-loop work-group aborts and loop unrolling."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig15_optimizations
+from repro.harness.report import geomean
+
+
+def test_fig15_optimization_ablation(benchmark, record_result):
+    result = run_once(benchmark, fig15_optimizations)
+    record_result(result)
+
+    by_bench = {row[0]: row for row in result.rows}
+
+    # Removing in-loop aborts hurts on aggregate (paper: almost all
+    # benchmarks improve with the optimization enabled)...
+    no_abort = [row[1] for row in result.rows]
+    assert geomean(no_abort) > 1.05
+    # ...with the single-wave, CPU-winning GESUMMV hit hardest: its GPU
+    # kernel cannot terminate early at all without inner checks.
+    assert by_bench["gesummv"][1] > 1.5
+
+    # Paper: "Five out of six benchmarks would experience slowdown" from
+    # inner checks without re-unrolling.
+    slowed = sum(1 for row in result.rows if row[2] > 1.02)
+    assert slowed >= 5
+
+    # AllOpt column is the normalization baseline.
+    assert all(row[3] == 1.0 for row in result.rows)

@@ -1,0 +1,32 @@
+"""Fig. 17: sensitivity to the initial CPU chunk size."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig17_chunk_sensitivity
+
+
+def test_fig17_chunk_size_sensitivity(benchmark, record_result):
+    result = run_once(benchmark, fig17_chunk_sensitivity)
+    record_result(result)
+
+    by_bench = {row[0]: row[1:] for row in result.rows}
+    labels = result.headers[1:]
+    large_cols = [labels.index("50%"), labels.index("75%")]
+
+    # Paper: "larger initial chunk sizes perform poorly in case of BICG,
+    # SYRK and SYR2K" — huge chunks starve the GPU of status updates.
+    degraded = sum(
+        1 for name in ("bicg", "syrk", "syr2k")
+        if max(by_bench[name][col] for col in large_cols) > 1.1
+    )
+    assert degraded >= 3
+
+    # Paper: "in case of GESUMMV, larger initial chunk sizes perform
+    # better" (fewer subkernel launches on the CPU-only benchmark).
+    assert by_bench["gesummv"][large_cols[-1]] <= 1.02
+
+    # The default (10%) stays close to the best chunk size everywhere
+    # (paper: within ~10% of the best performing chunk size).
+    default = labels.index("10%")
+    for name, row in by_bench.items():
+        assert row[default] <= 1.2 * min(row), name

@@ -1,0 +1,17 @@
+"""Fig. 18: sensitivity to the adaptive chunk growth step."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig18_step_sensitivity
+
+
+def test_fig18_step_size_sensitivity(benchmark, record_result):
+    result = run_once(benchmark, fig18_step_sensitivity)
+    record_result(result)
+
+    values = [value for row in result.rows for value in row[1:]]
+    # Paper: the default step "comes to within a few percent in most
+    # cases with the maximum degradation being ~30%".
+    assert max(values) < 1.45
+    within_few_percent = sum(1 for value in values if value < 1.1)
+    assert within_few_percent >= 0.7 * len(values)

@@ -1,0 +1,18 @@
+"""Table 1: BICG's two kernels each prefer a different device."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table1_bicg_kernel_times
+
+
+def test_table1_kernels_prefer_different_devices(benchmark, record_result):
+    result = run_once(benchmark, table1_bicg_kernel_times)
+    record_result(result)
+
+    winners = {row[0]: row[3] for row in result.rows}
+    assert winners["bicg_kernel1"] == "gpu"
+    assert winners["bicg_kernel2"] == "cpu"
+    # Each preference must be substantial (>1.5x), as in the paper's table.
+    for kernel, cpu_time, gpu_time, _w in result.rows:
+        ratio = max(cpu_time, gpu_time) / min(cpu_time, gpu_time)
+        assert ratio > 1.5, f"{kernel}: preference ratio only {ratio:.2f}"

@@ -1,0 +1,17 @@
+"""Table 2: benchmark suite configuration."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table2_suite
+
+
+def test_table2_suite_configuration(benchmark, record_result):
+    result = run_once(benchmark, table2_suite)
+    record_result(result)
+
+    names = [row[0] for row in result.rows]
+    assert names == ["2MM", "BICG", "CORR", "GESUMMV", "SYRK", "SYR2K"]
+    kernels = {row[0]: row[2] for row in result.rows}
+    assert kernels == {
+        "2MM": 2, "BICG": 2, "CORR": 4, "GESUMMV": 1, "SYRK": 1, "SYR2K": 1,
+    }

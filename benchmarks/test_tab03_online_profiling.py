@@ -1,0 +1,22 @@
+"""Table 3: CORR with an alternate CPU kernel and online profiling."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table3_corr_online_profiling
+
+
+def test_table3_online_profiling(benchmark, record_result):
+    result = run_once(benchmark, table3_corr_online_profiling)
+    record_result(result)
+
+    times = {row[0]: row[1] for row in result.rows}
+    # Plain FluidiCL tracks the GPU (CORR is GPU-bound with the baseline
+    # kernel)...
+    assert times["fluidicl"] <= 1.1 * times["gpu_only"]
+    # ...and online profiling unlocks a solid further win by picking the
+    # loop-interchanged CPU kernel (paper: ~1.9x; simulator: >1.4x).
+    speedup = times["fluidicl"] / times["fluidicl+profiling"]
+    assert speedup > 1.4
+    # With profiling, CORR beats BOTH single devices.
+    assert times["fluidicl+profiling"] < times["gpu_only"]
+    assert times["fluidicl+profiling"] < times["cpu_only"]

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Input-size adaptation: the right split is not a constant.
+
+SYRK's best CPU/GPU partitioning depends on the input size (paper Fig. 3):
+a static split tuned for one size is wrong for another, while FluidiCL
+re-discovers the split at runtime, every run, with no calibration.
+
+Run:  python examples/adaptive_inputs.py
+"""
+
+from repro.baselines import StaticPartitionRuntime
+from repro.core import FluidiCLRuntime
+from repro.harness.runner import single_device_times
+from repro.hw import build_machine
+from repro.polybench import SyrkApp
+
+SIZES = (512, 1024, 2048)
+#: a static split a programmer might have tuned on the smallest input
+FROZEN_GPU_SHARE = 0.6
+
+
+def main() -> None:
+    print("SYRK across input sizes: frozen 60/40 split vs FluidiCL\n")
+    print(f"  {'size':>6} {'cpu-only':>10} {'gpu-only':>10} "
+          f"{'static 60/40':>13} {'fluidicl':>10}   fluidicl vs best")
+
+    for n in SIZES:
+        app = SyrkApp(n=n)
+        inputs = app.fresh_inputs()
+        single = single_device_times(app, inputs=inputs)
+
+        machine = build_machine()
+        static = StaticPartitionRuntime(machine, FROZEN_GPU_SHARE)
+        static_time = app.execute(static, inputs=inputs).elapsed
+
+        machine = build_machine()
+        fluidicl = FluidiCLRuntime(machine)
+        result = app.execute(fluidicl, inputs=inputs)
+
+        best = min(single.values())
+        print(f"  {n:>6} {single['cpu'] * 1e3:>9.1f}ms "
+              f"{single['gpu'] * 1e3:>9.1f}ms "
+              f"{static_time * 1e3:>12.1f}ms "
+              f"{result.elapsed * 1e3:>9.1f}ms   {best / result.elapsed:>6.2f}x"
+              f"   (CPU got {fluidicl.records[0].cpu_share:.0%})")
+
+    print(
+        "\n  The CPU's share grows with the input size — exactly the paper's"
+        "\n  Fig. 3 observation — without anyone re-tuning anything."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Multi-kernel programs: each kernel flows to its preferred device.
+
+BICG (paper Table 1) has two kernels with opposite device affinities:
+``q = A p`` streams rows (GPU-friendly) while ``s = A^T r`` walks columns
+(CPU-friendly).  A runtime that must pick ONE device for the application
+loses on one kernel or the other; FluidiCL re-balances per kernel, with the
+buffer version tracker keeping the two discrete address spaces coherent
+between kernels.
+
+Run:  python examples/multi_kernel_pipeline.py
+"""
+
+from repro.core import FluidiCLRuntime
+from repro.hw import build_machine
+from repro.hw.specs import DeviceKind
+from repro.ocl import SingleDeviceRuntime
+from repro.polybench import BicgApp
+
+
+def main() -> None:
+    app = BicgApp(n=4096)
+    inputs = app.fresh_inputs()
+
+    print(f"BICG ({app.n}x{app.n}): two kernels, opposite device affinities\n")
+
+    times = {}
+    for kind in (DeviceKind.GPU, DeviceKind.CPU):
+        machine = build_machine()
+        runtime = SingleDeviceRuntime(machine, kind)
+        result = app.execute(runtime, inputs=inputs)
+        times[kind.value] = result.elapsed
+        print(f"  {kind.value}-only : {result.elapsed * 1e3:8.2f} ms")
+
+    machine = build_machine()
+    runtime = FluidiCLRuntime(machine)
+    result = app.execute(runtime, inputs=inputs)
+    times["fluidicl"] = result.elapsed
+    print(f"  fluidicl : {result.elapsed * 1e3:8.2f} ms\n")
+
+    print("  Per-kernel adaptation (no profiling, no training):")
+    for record in runtime.records:
+        print(f"    {record.name:14s} -> {record.cpu_share:5.0%} of "
+              f"work-groups credited to the CPU")
+    print(
+        "\n  Note the split folds in *data availability*, not just kernel\n"
+        "  speed: the CPU gets a head start on kernel 1 while A is still\n"
+        "  crossing PCIe, exactly the effect the paper's status-follows-\n"
+        "  data protocol accounts for automatically."
+    )
+
+    best = min(times["gpu"], times["cpu"])
+    print(f"\n  FluidiCL is {best / times['fluidicl']:.2f}x the best single "
+          f"device — per-kernel flow beats any whole-app device choice.")
+
+
+if __name__ == "__main__":
+    main()

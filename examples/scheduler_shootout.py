@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Scheduler shootout: FluidiCL vs OracleSP vs SOCL (eager / dmda).
+
+One benchmark, five ways (paper sections 9.1 and 9.4):
+
+* CPU-only / GPU-only — the vendor runtimes used directly;
+* OracleSP — the best static split, found by exhaustively sweeping
+  0..100% GPU share (11 full runs: an oracle, not a practical scheduler);
+* SOCL-eager — StarPU's default scheduler under the SOCL OpenCL facade;
+* SOCL-dmda — StarPU's data-aware scheduler, after 10 calibration runs;
+* FluidiCL — no profiling, no calibration, no sweeps.
+
+Run:  python examples/scheduler_shootout.py [benchmark]
+"""
+
+import sys
+
+from repro.baselines import oracle_static_partition
+from repro.harness.runner import fluidicl_time, single_device_times, socl_time
+from repro.polybench import make_app
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "syr2k"
+    app = make_app(name, "paper")
+    inputs = app.fresh_inputs()
+
+    print(f"{name.upper()} {app.input_size_label}: total running time\n")
+
+    single = single_device_times(app, inputs=inputs)
+    oracle = oracle_static_partition(app, inputs=inputs)
+    eager = socl_time(app, "eager", inputs=inputs)
+    dmda = socl_time(app, "dmda", calibration_runs=10, inputs=inputs)
+    fluidicl = fluidicl_time(app, inputs=inputs)
+
+    rows = [
+        ("CPU only", single["cpu"], ""),
+        ("GPU only", single["gpu"], ""),
+        ("OracleSP", oracle.best_time,
+         f"best split: {oracle.best_fraction:.0%} GPU (11 sweep runs)"),
+        ("SOCL eager", eager, "StarPU default scheduler"),
+        ("SOCL dmda", dmda, "after 10 calibration runs"),
+        ("FluidiCL", fluidicl, "no training, no calibration"),
+    ]
+    best = min(single.values())
+    for label, seconds, note in rows:
+        bar = "#" * max(1, round(40 * seconds / max(r[1] for r in rows)))
+        print(f"  {label:11s} {seconds * 1e3:9.2f} ms "
+              f"({seconds / best:5.2f}x of best device)  {bar}")
+        if note:
+            print(f"  {'':11s} {note}")
+
+    print(f"\n  FluidiCL vs SOCL-eager: {eager / fluidicl:.2f}x faster")
+    print(f"  FluidiCL vs SOCL-dmda : {dmda / fluidicl:.2f}x faster")
+    print(f"  FluidiCL vs OracleSP  : {oracle.best_time / fluidicl:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""FluidiCL reproduction: cooperative CPU+GPU execution of OpenCL kernels.
+
+Reproduction of Pandit & Govindarajan, "Fluidic Kernels: Cooperative
+Execution of OpenCL Programs on Multiple Heterogeneous Devices", CGO 2014.
+
+Top-level convenience surface::
+
+    from repro import FluidiCLRuntime, build_machine
+    from repro.polybench import GemmApp
+
+    runtime = FluidiCLRuntime(build_machine())
+    result = GemmApp(n=1024).execute(runtime)
+
+Package map: :mod:`repro.sim` (discrete-event engine), :mod:`repro.hw`
+(hardware model), :mod:`repro.ocl` (mini OpenCL), :mod:`repro.kernels`
+(kernel DSL), :mod:`repro.polybench` (benchmarks), :mod:`repro.core`
+(FluidiCL itself), :mod:`repro.baselines` (single-device / static /
+StarPU-SOCL), :mod:`repro.harness` (experiments).
+"""
+
+from repro.core.config import FluidiCLConfig
+from repro.core.runtime import FluidiCLRuntime
+from repro.hw.machine import Machine, build_machine
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg, scalar_arg
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import AbstractRuntime, SingleDeviceRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractRuntime",
+    "FluidiCLConfig",
+    "FluidiCLRuntime",
+    "Intent",
+    "KernelSpec",
+    "Machine",
+    "NDRange",
+    "SingleDeviceRuntime",
+    "buffer_arg",
+    "build_machine",
+    "scalar_arg",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""CPU-only / GPU-only baselines: the vendor runtime used directly."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hw.machine import build_machine
+from repro.hw.specs import DeviceKind
+from repro.ocl.runtime import SingleDeviceRuntime
+from repro.polybench.common import AppResult, PolybenchApp
+
+__all__ = ["run_on_device", "single_device_time"]
+
+
+def run_on_device(app: PolybenchApp, kind: DeviceKind,
+                  inputs: Optional[Dict[str, np.ndarray]] = None,
+                  check: bool = True) -> AppResult:
+    """Run ``app`` on a fresh machine using only the given device."""
+    machine = build_machine()
+    runtime = SingleDeviceRuntime(machine, kind)
+    result = app.execute(runtime, inputs=inputs, check=check)
+    result.runtime = f"{kind.value}-only"
+    return result
+
+
+def single_device_time(app: PolybenchApp, kind: DeviceKind,
+                       inputs: Optional[Dict[str, np.ndarray]] = None) -> float:
+    """Total running time (seconds) of ``app`` on one device."""
+    return run_on_device(app, kind, inputs=inputs, check=False).elapsed

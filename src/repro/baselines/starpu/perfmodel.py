@@ -1,0 +1,69 @@
+"""History-based performance model for the dmda scheduler (§9.4).
+
+StarPU's dmda scheduler needs per-(codelet, input-size, worker) execution
+time estimates, gathered by *calibration* runs: "This calibration step
+involves running the application with at least ten different input sizes."
+:func:`calibrate_perfmodel` reproduces that procedure: it runs the
+application repeatedly under a round-robin scheduler that forces every
+codelet onto every worker, recording observed times.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PerfModel", "calibrate_perfmodel"]
+
+Key = Tuple[str, int, str]  # (codelet name, size footprint, worker kind)
+
+
+class PerfModel:
+    """Average observed execution time per (codelet, footprint, worker)."""
+
+    def __init__(self):
+        self._samples: Dict[Key, List[float]] = defaultdict(list)
+
+    @staticmethod
+    def footprint(task) -> int:
+        """Size hash of a task: total bytes accessed (StarPU hashes sizes)."""
+        return sum(h.nbytes for h, _intent in task.accesses)
+
+    def record(self, codelet: str, footprint: int, worker_kind: str,
+               seconds: float) -> None:
+        self._samples[(codelet, footprint, worker_kind)].append(seconds)
+
+    def predict(self, codelet: str, footprint: int,
+                worker_kind: str) -> Optional[float]:
+        """Mean observed time, or None when uncalibrated."""
+        samples = self._samples.get((codelet, footprint, worker_kind))
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    @property
+    def calibrated_entries(self) -> int:
+        return len(self._samples)
+
+    def is_calibrated_for(self, codelet: str, footprint: int,
+                          worker_kinds) -> bool:
+        return all(
+            (codelet, footprint, kind) in self._samples for kind in worker_kinds
+        )
+
+
+def calibrate_perfmodel(run_once: Callable[..., None],
+                        model: Optional[PerfModel] = None,
+                        runs: int = 10) -> PerfModel:
+    """Build a perf model by repeatedly running an application.
+
+    ``run_once(scheduler_name, model, offset)`` must execute the application
+    once with the given scheduler, recording timings into ``model``.  The
+    calibration phase uses the ``roundrobin`` scheduler with a per-run
+    rotation offset so both workers see every codelet (StarPU explores
+    un-modeled workers similarly while calibrating).
+    """
+    model = model or PerfModel()
+    for run in range(runs):
+        run_once("roundrobin", model, run)
+    return model

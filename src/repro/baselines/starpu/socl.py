@@ -1,0 +1,223 @@
+"""SOCL: the OpenCL facade over the StarPU-like task runtime (§9.4).
+
+"SOCL eliminates the need for writing StarPU API by providing a unified
+OpenCL runtime which in turn invokes the necessary StarPU API for
+scheduling and data management."  Here every ``enqueue_nd_range_kernel``
+becomes one StarPU task; data handles move between host and devices under
+MSI-style validity tracking; the chosen scheduler decides placement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional
+
+import numpy as np
+
+from repro.baselines.starpu.perfmodel import PerfModel
+from repro.baselines.starpu.scheduler import make_scheduler
+from repro.baselines.starpu.tasks import DataHandle, Task
+from repro.hw.machine import Machine
+from repro.kernels.transforms import plain_variant
+from repro.ocl.enums import MemFlag
+from repro.ocl.kernel import Kernel
+from repro.ocl.ndrange import NDRange
+from repro.ocl.platform import Platform
+from repro.ocl.runtime import AbstractRuntime, KernelVersions
+from repro.sim.resources import Channel
+
+__all__ = ["SoclRuntime", "Worker"]
+
+
+class Worker:
+    """One StarPU worker: a device plus its command queue and task inbox."""
+
+    def __init__(self, runtime: "SoclRuntime", device, kind: str):
+        self.runtime = runtime
+        self.device = device
+        self.kind = kind
+        self.queue = runtime.context.create_queue(device, f"starpu-{kind}")
+        self.inbox = Channel(device.engine, name=f"inbox-{kind}")
+        #: dmda's running estimate of when this worker frees up
+        self.available_at = 0.0
+        self.tasks_executed = 0
+        self.process = device.engine.process(self._loop(), name=f"worker-{kind}")
+
+    def _loop(self):
+        while True:
+            task = yield self.inbox.get()
+            if task is None:
+                return
+            yield from self._execute(task)
+            self.runtime.scheduler.worker_idle(self)
+
+    def _execute(self, task: Task):
+        engine = self.device.engine
+        task.worker_name = self.kind
+        # -- fetch missing inputs (through host memory, as StarPU does) -----
+        for handle, intent in task.accesses:
+            buffer = handle.buffer_on(self.device)
+            if intent.is_read and not handle.is_valid_on(self.device):
+                if not handle.valid_on_host:
+                    yield from self._fetch_to_host(handle)
+                event = self.queue.enqueue_write_buffer(buffer, handle.host_array)
+                task.transfer_bytes += handle.nbytes
+                yield event.done
+                handle.mark_valid_on(self.device)
+        # -- run the kernel ---------------------------------------------------
+        resolved = {
+            name: (value.buffer_on(self.device) if isinstance(value, DataHandle)
+                   else value)
+            for name, value in task.args.items()
+        }
+        kernel = Kernel(plain_variant(task.codelet), resolved)
+        began = engine.now
+        event = self.queue.enqueue_nd_range_kernel(kernel, task.ndrange)
+        yield event.done
+        task.exec_seconds = engine.now - began
+        self.tasks_executed += 1
+        if self.runtime.model is not None:
+            self.runtime.model.record(
+                task.name, PerfModel.footprint(task), self.kind,
+                task.exec_seconds,
+            )
+        # -- validity updates ---------------------------------------------------
+        for handle in task.written_handles():
+            handle.invalidate_everywhere_but(self.device)
+        task.done.succeed()
+
+    def _fetch_to_host(self, handle: DataHandle):
+        source_names = handle.valid_device_names()
+        if not source_names:
+            raise RuntimeError(f"handle {handle.name!r} valid nowhere")
+        source_worker = self.runtime.worker_by_device_name(source_names[0])
+        event = source_worker.queue.enqueue_read_buffer(
+            handle.device_buffers[source_names[0]], handle.host_array
+        )
+        yield event.done
+        handle.valid_on_host = True
+
+    def stop(self) -> None:
+        self.inbox.put(None)
+
+
+class SoclRuntime(AbstractRuntime):
+    """OpenCL-shaped runtime executing through StarPU-style tasks."""
+
+    def __init__(self, machine: Machine, scheduler: str = "eager",
+                 model: Optional[PerfModel] = None,
+                 platform: Optional[Platform] = None,
+                 scheduler_offset: int = 0):
+        super().__init__(machine)
+        self.platform = platform or Platform(machine)
+        self.context = self.platform.create_context()
+        # StarPU numbers CPU workers first; eager serves idle workers in
+        # registration order.
+        self.workers: List[Worker] = [
+            Worker(self, self.platform.cpu, "cpu"),
+            Worker(self, self.platform.gpu, "gpu"),
+        ]
+        self.model = model if model is not None else PerfModel()
+        self.scheduler = make_scheduler(
+            scheduler, self.workers, self.model, offset=scheduler_offset
+        )
+        self.scheduler_name = scheduler
+        self.handles: List[DataHandle] = []
+        self.tasks: List[Task] = []
+
+    def worker_by_device_name(self, device_name: str) -> Worker:
+        for worker in self.workers:
+            if worker.device.name == device_name:
+                return worker
+        raise KeyError(device_name)
+
+    # -- OpenCL-shaped API -----------------------------------------------------
+    def create_buffer(self, name: str, shape, dtype,
+                      flags: MemFlag = MemFlag.READ_WRITE) -> DataHandle:
+        self.machine.host_api_call()
+        handle = DataHandle(self.engine, name, shape, dtype)
+        self.handles.append(handle)
+        return handle
+
+    def enqueue_write_buffer(self, handle: DataHandle,
+                             host_array: np.ndarray) -> None:
+        self.machine.host_api_call()
+        self._quiesce_handle(handle)
+        np.copyto(handle.host_array,
+                  np.asarray(host_array, dtype=handle.dtype).reshape(handle.shape))
+        handle.valid_on_host = True
+        handle.valid_on = {k: False for k in handle.valid_on}
+        # Host-side staging copy cost.
+        self.engine.run(self.now + handle.nbytes / self.machine.host.memcpy_bandwidth)
+        self.stats.writes += 1
+
+    def enqueue_nd_range_kernel(self, versions: KernelVersions, ndrange: NDRange,
+                                args: Mapping[str, Any]) -> Task:
+        self.machine.host_api_call()
+        spec = self._as_versions(versions)[0]
+        spec.bind_check(args)
+        accesses = []
+        for arg_spec in spec.args:
+            value = args[arg_spec.name]
+            if arg_spec.is_buffer:
+                if not isinstance(value, DataHandle):
+                    raise TypeError(
+                        f"argument {arg_spec.name!r} must be a SOCL data handle"
+                    )
+                accesses.append((value, arg_spec.intent))
+        task = Task(
+            codelet=spec,
+            ndrange=ndrange,
+            accesses=accesses,
+            args=dict(args),
+            engine=self.engine,
+        )
+        task.compute_dependencies()
+        self.tasks.append(task)
+        self._dispatch_when_ready(task)
+        self.stats.kernels_enqueued += 1
+        return task
+
+    def _dispatch_when_ready(self, task: Task) -> None:
+        if not task.dependencies:
+            self.scheduler.task_ready(task)
+            return
+        gate = self.engine.all_of(task.dependencies)
+        gate.add_callback(lambda _e: self.scheduler.task_ready(task))
+
+    def enqueue_read_buffer(self, handle: DataHandle,
+                            host_array: np.ndarray) -> None:
+        self.machine.host_api_call()
+        self._quiesce_handle(handle)
+        if not handle.valid_on_host:
+            source_names = handle.valid_device_names()
+            worker = self.worker_by_device_name(source_names[0])
+            event = worker.queue.enqueue_read_buffer(
+                handle.device_buffers[source_names[0]], handle.host_array
+            )
+            self.machine.run_until(event.done)
+            handle.valid_on_host = True
+        np.copyto(host_array.reshape(handle.shape), handle.host_array)
+        self.engine.run(self.now + handle.nbytes / self.machine.host.memcpy_bandwidth)
+        self.stats.reads += 1
+
+    def _quiesce_handle(self, handle: DataHandle) -> None:
+        """Wait for every in-flight task touching ``handle``."""
+        pending = []
+        if handle.last_writer is not None and not handle.last_writer.done.triggered:
+            pending.append(handle.last_writer.done)
+        pending.extend(
+            t.done for t in handle.readers_since_write if not t.done.triggered
+        )
+        if pending:
+            self.machine.run_until(self.engine.all_of(pending))
+
+    def finish(self) -> None:
+        self.machine.host_api_call()
+        pending = [t.done for t in self.tasks if not t.done.triggered]
+        if pending:
+            self.machine.run_until(self.engine.all_of(pending))
+
+    def release(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+        self.context.release()

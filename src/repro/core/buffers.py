@@ -1,0 +1,117 @@
+"""Dual-device buffers with version and location tracking (paper §5.3, §6.2).
+
+A :class:`FluidiBuffer` owns one vendor buffer per device.  Versions are
+FluidiCL kernel IDs: ``latest`` is the ID of the last committed writer, and
+``version_gpu`` / ``version_cpu`` record which committed state each device
+copy reflects.  A device copy that contains *partial* results (e.g. the CPU
+array mid-kernel, or the GPU array after an ignored execution) is marked
+:data:`DIRTY` so nothing consumes it until refreshed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ocl.buffer import Buffer
+from repro.ocl.enums import MemFlag
+from repro.sim.core import Engine
+from repro.sim.sync import Gate
+
+__all__ = ["DIRTY", "FluidiBuffer"]
+
+#: version marker for a device copy holding partial/ignored results
+DIRTY = -1
+
+
+class FluidiBuffer:
+    """One logical application buffer, physically mirrored on both devices."""
+
+    def __init__(self, engine: Engine, name: str, gpu_buffer: Buffer,
+                 cpu_buffer: Buffer, flags: MemFlag = MemFlag.READ_WRITE):
+        if gpu_buffer.shape != cpu_buffer.shape or gpu_buffer.dtype != cpu_buffer.dtype:
+            raise ValueError("device copies must agree on shape and dtype")
+        self.name = name
+        self.gpu = gpu_buffer
+        self.cpu = cpu_buffer
+        self.flags = flags
+        #: kernel ID of the last committed writer
+        self.latest = 0
+        self.version_gpu = 0
+        self.version_cpu = 0
+        #: fired (with the new version) whenever the CPU copy is refreshed;
+        #: the scheduler thread waits on this before consuming inputs (§5.3)
+        self.cpu_gate = Gate(engine, name=f"cpuver:{name}")
+        #: set while a device-to-host transfer for this buffer is in flight
+        self.dh_pending = False
+        #: completion event of the last host/DH write targeting the CPU copy;
+        #: reads issued on the separate CPU I/O queue synchronize on it
+        self.last_cpu_write = None
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.gpu.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.gpu.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.gpu.nbytes
+
+    # -- version queries ---------------------------------------------------------
+    @property
+    def gpu_current(self) -> bool:
+        return self.version_gpu == self.latest
+
+    @property
+    def cpu_current(self) -> bool:
+        return self.version_cpu == self.latest
+
+    def expect_write(self, kernel_id: int) -> None:
+        """Mark that ``kernel_id`` is about to (partially) write this buffer."""
+        if kernel_id <= self.latest:
+            raise ValueError(
+                f"kernel id {kernel_id} not newer than committed {self.latest}"
+            )
+        # Both copies become unreliable until the kernel commits.
+        self.version_gpu = DIRTY
+        self.version_cpu = DIRTY
+
+    def commit_host_write(self, version: int) -> None:
+        """Both devices were given fresh host data (``clEnqueueWriteBuffer``)."""
+        self.latest = version
+        self.version_gpu = version
+        self.version_cpu = version
+        self.cpu_gate.fire(version)
+
+    def commit_gpu(self, kernel_id: int) -> None:
+        """The merged result on the GPU is the new truth (normal path)."""
+        self.latest = kernel_id
+        self.version_gpu = kernel_id
+        self.version_cpu = DIRTY
+
+    def commit_cpu(self, kernel_id: int) -> None:
+        """The CPU computed the whole NDRange first; GPU results are ignored."""
+        self.latest = kernel_id
+        self.version_cpu = kernel_id
+        self.version_gpu = DIRTY
+        self.cpu_gate.fire(kernel_id)
+
+    def mark_cpu_refreshed(self, version: int) -> None:
+        """A device-to-host transfer delivered ``version`` to the CPU side."""
+        self.version_cpu = version
+        self.dh_pending = False
+        self.cpu_gate.fire(version)
+
+    def mark_gpu_refreshed(self, version: int) -> None:
+        self.version_gpu = version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FluidiBuffer {self.name} latest={self.latest} "
+            f"gpu={self.version_gpu} cpu={self.version_cpu}>"
+        )

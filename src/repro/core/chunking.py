@@ -1,0 +1,76 @@
+"""Adaptive CPU chunk-size selection (paper §5.1).
+
+The first subkernel gets ``initial_chunk_fraction`` of the total
+work-groups; after each subkernel the observed average time per work-group
+is compared with the previous one, and the chunk grows by
+``chunk_step_fraction`` of the total as long as the average keeps
+improving.  The allocation is never smaller than the number of CPU compute
+units ("to ensure full resource utilization").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["AdaptiveChunker"]
+
+#: require at least this relative improvement to keep growing.  Launch
+#: overhead amortization alone "improves" the average forever by a hair;
+#: on real hardware measurement noise swamps sub-percent gains, so growth
+#: stops once the utilization curve flattens.
+_IMPROVEMENT_EPSILON = 0.02
+
+
+class AdaptiveChunker:
+    """Stateful chunk-size heuristic for one kernel's CPU subkernels."""
+
+    def __init__(self, total_groups: int, compute_units: int,
+                 initial_fraction: float = 0.10, step_fraction: float = 0.10):
+        if total_groups < 1:
+            raise ValueError("total_groups must be >= 1")
+        if compute_units < 1:
+            raise ValueError("compute_units must be >= 1")
+        self.total_groups = total_groups
+        self.compute_units = compute_units
+        self.chunk = max(1, round(initial_fraction * total_groups))
+        self.step = round(step_fraction * total_groups)
+        self._growing = self.step > 0
+        self._previous_avg: float = float("inf")
+        #: (chunk, avg seconds/work-group) per observed subkernel
+        self.history: List[Tuple[int, float]] = []
+
+    def next_chunk(self, remaining: int) -> int:
+        """Work-groups the next subkernel should get.
+
+        The allocation is at least one work-group per compute unit (§5.1)
+        and is rounded up to a multiple of the compute units so the last
+        dispatch wave of the subkernel is not left partially filled.
+        """
+        if remaining < 1:
+            raise ValueError("no work remaining")
+        cu = self.compute_units
+        chunk = max(self.chunk, cu)
+        chunk = -(-chunk // cu) * cu
+        return min(chunk, remaining)
+
+    def observe(self, launched_groups: int, elapsed_seconds: float) -> None:
+        """Feed back the measured duration of the last subkernel."""
+        if launched_groups < 1:
+            raise ValueError("launched_groups must be >= 1")
+        if elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds must be >= 0")
+        avg = elapsed_seconds / launched_groups
+        self.history.append((launched_groups, avg))
+        if not self._growing:
+            self._previous_avg = avg
+            return
+        if avg < self._previous_avg * (1.0 - _IMPROVEMENT_EPSILON):
+            self.chunk = min(self.total_groups, self.chunk + self.step)
+        else:
+            # Average stopped improving: settle at the current size.
+            self._growing = False
+        self._previous_avg = avg
+
+    @property
+    def still_growing(self) -> bool:
+        return self._growing

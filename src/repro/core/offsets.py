@@ -1,0 +1,62 @@
+"""Offset calculation for CPU subkernel launches (paper §5.2, Fig. 10).
+
+A CPU subkernel must execute flattened work-group IDs ``[start, end)`` of an
+arbitrary-rank NDRange.  OpenCL can only launch rectangular slices, so the
+scheduler launches the smallest offset slice that covers the window (whole
+hyper-rows of the slowest dimension) and passes the flattened bounds; the
+range check inside the transformed kernel skips the surplus groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ocl.ndrange import NDRange
+
+__all__ = ["SubkernelLaunch", "subkernel_slice"]
+
+
+@dataclass(frozen=True)
+class SubkernelLaunch:
+    """Launch geometry for one CPU subkernel."""
+
+    #: the rectangular slice actually launched (with group offset)
+    slice_range: NDRange
+    #: flattened work-group window, in *full-NDRange* numbering
+    fid_start: int
+    fid_end: int
+
+    @property
+    def launched_groups(self) -> int:
+        return self.slice_range.total_groups
+
+    @property
+    def useful_groups(self) -> int:
+        return self.fid_end - self.fid_start
+
+    @property
+    def surplus_groups(self) -> int:
+        """Groups launched but rejected by the in-kernel range check."""
+        return self.launched_groups - self.useful_groups
+
+
+def subkernel_slice(ndrange: NDRange, fid_start: int, fid_end: int) -> SubkernelLaunch:
+    """Compute the covering slice plus flattened bounds for a window."""
+    slice_range = ndrange.covering_slice(fid_start, fid_end)
+    launch = SubkernelLaunch(slice_range, fid_start, fid_end)
+    _validate_cover(ndrange, launch)
+    return launch
+
+
+def _validate_cover(ndrange: NDRange, launch: SubkernelLaunch) -> None:
+    """The slice must contain every group of the window (cheap spot check)."""
+    for fid in (launch.fid_start, launch.fid_end - 1):
+        gid = ndrange.unflatten_group(fid)
+        slice_nd = launch.slice_range
+        for dim, (g, off, n) in enumerate(
+            zip(gid, slice_nd.group_offset, slice_nd.num_groups)
+        ):
+            if not off <= g < off + n:
+                raise AssertionError(
+                    f"covering slice misses group {gid} in dim {dim}"
+                )

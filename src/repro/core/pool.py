@@ -1,0 +1,98 @@
+"""GPU-side helper-buffer pool (paper §6.1).
+
+FluidiCL needs, per out/inout buffer per kernel, a landing buffer for
+incoming CPU data, a pristine copy of the original contents (for the merge
+diff) and a read-back staging copy.  Creating and destroying these every
+kernel is expensive — the paper calls this out as the reason ATAX trails
+OracleSP slightly — so a pool reuses them across kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ocl.buffer import Buffer
+from repro.ocl.device import Device
+from repro.ocl.enums import MemFlag
+
+__all__ = ["BufferPool"]
+
+#: fixed driver-side cost of one device allocation (cudaMalloc-like)
+ALLOC_FIXED_OVERHEAD = 60e-6
+#: incremental allocation cost per byte (page mapping)
+ALLOC_BYTE_OVERHEAD = 1.0 / 40e9
+
+
+class BufferPool:
+    """Reusable device buffers, keyed by (shape, dtype).
+
+    :meth:`acquire` returns ``(buffer, alloc_seconds)``; the caller charges
+    the allocation time to the simulated clock only when a genuinely new
+    buffer had to be created (a pool hit costs nothing).  With pooling
+    disabled every acquire allocates (and every release frees) — the
+    configuration used to quantify §6.1's benefit.
+    """
+
+    def __init__(self, device: Device, enabled: bool = True):
+        self.device = device
+        self.enabled = enabled
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[Buffer]] = {}
+        self._in_use: List[Buffer] = []
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def allocation_time(nbytes: int) -> float:
+        return ALLOC_FIXED_OVERHEAD + nbytes * ALLOC_BYTE_OVERHEAD
+
+    def acquire(self, shape: Tuple[int, ...], dtype, label: str = "pool") -> Tuple[Buffer, float]:
+        key = (tuple(shape), np.dtype(dtype))
+        bucket = self._free.get(key)
+        if self.enabled and bucket:
+            buffer = bucket.pop()
+            self._in_use.append(buffer)
+            self.hits += 1
+            return buffer, 0.0
+        buffer = self.device.create_buffer(
+            key[0], key[1], MemFlag.READ_WRITE, name=f"{label}{len(self._in_use)}"
+        )
+        self._in_use.append(buffer)
+        self.misses += 1
+        return buffer, self.allocation_time(buffer.nbytes)
+
+    def release(self, buffer: Buffer) -> None:
+        if buffer not in self._in_use:
+            raise ValueError(f"buffer {buffer.name!r} was not acquired from this pool")
+        self._in_use.remove(buffer)
+        if self.enabled:
+            key = (buffer.shape, buffer.dtype)
+            self._free.setdefault(key, []).append(buffer)
+        else:
+            buffer.release()
+
+    def trim(self, keep_per_key: int = 2) -> int:
+        """Free surplus idle buffers ("older unused buffers are freed and GPU
+        memory is reclaimed", §6.1).  Returns the number freed."""
+        freed = 0
+        for bucket in self._free.values():
+            while len(bucket) > keep_per_key:
+                bucket.pop(0).release()
+                freed += 1
+        return freed
+
+    def drain(self) -> None:
+        """Free everything idle (used at runtime release)."""
+        for bucket in self._free.values():
+            for buffer in bucket:
+                buffer.release()
+        self._free.clear()
+
+    @property
+    def idle_count(self) -> int:
+        return sum(len(b) for b in self._free.values())
+
+    @property
+    def in_use_count(self) -> int:
+        return len(self._in_use)

@@ -1,0 +1,64 @@
+"""Online profiling of alternate CPU kernel versions (paper §6.6).
+
+When the application supplies several functionally identical versions of a
+kernel (e.g. a GPU-tuned baseline and a loop-interchanged, cache-friendly
+CPU variant), FluidiCL runs each version for one small allocation, measures
+it, and uses the fastest version for all remaining subkernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.kernels.dsl import KernelSpec
+
+__all__ = ["OnlineKernelProfiler"]
+
+
+class OnlineKernelProfiler:
+    """Per-kernel-launch state machine choosing among kernel versions."""
+
+    def __init__(self, versions: Sequence[KernelSpec], enabled: bool = True):
+        if not versions:
+            raise ValueError("need at least one kernel version")
+        self.versions: List[KernelSpec] = list(versions)
+        self.enabled = enabled and len(self.versions) > 1
+        self._timings: List[Optional[float]] = [None] * len(self.versions)
+        self._probe_index = 0
+        self._chosen: Optional[int] = None if self.enabled else 0
+
+    @property
+    def probing(self) -> bool:
+        """Still in the measurement phase?"""
+        return self._chosen is None
+
+    @property
+    def chosen(self) -> Optional[KernelSpec]:
+        return None if self._chosen is None else self.versions[self._chosen]
+
+    def next_version(self) -> KernelSpec:
+        """Version to use for the next CPU subkernel."""
+        if self._chosen is not None:
+            return self.versions[self._chosen]
+        return self.versions[self._probe_index]
+
+    def observe(self, per_group_seconds: float) -> None:
+        """Record the normalized timing of the subkernel just executed."""
+        if self._chosen is not None:
+            return
+        self._timings[self._probe_index] = per_group_seconds
+        self._probe_index += 1
+        if self._probe_index >= len(self.versions):
+            best = min(
+                range(len(self.versions)),
+                key=lambda i: self._timings[i],
+            )
+            self._chosen = best
+
+    def summary(self) -> dict:
+        return {
+            "versions": [v.version for v in self.versions],
+            "timings": list(self._timings),
+            "chosen": None if self._chosen is None
+            else self.versions[self._chosen].version,
+        }

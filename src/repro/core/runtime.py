@@ -1,0 +1,448 @@
+"""The FluidiCL runtime: OpenCL-shaped API, cooperative dual-device engine.
+
+This is the software layer of the paper's Fig. 4: it sits on top of the two
+vendor runtimes (one GPU, one CPU device, each with a discrete address
+space) and exposes the plain single-device OpenCL API.  Every
+``enqueue_nd_range_kernel`` call executes the kernel on *both* devices at
+once (§4), with all data management — original-copy buffers, CPU→GPU result
+shipping, diff+merge, device-to-host read-back, version and location
+tracking — handled transparently.
+
+Kernel execution calls are blocking, as in the paper (§7); the
+device-to-host read-back of results proceeds in the background, overlapped
+with whatever the host does next (§5.5/§5.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.buffers import FluidiBuffer
+from repro.core.config import FluidiCLConfig
+from repro.core.merge import build_merge_kernel, merge_ndrange
+from repro.core.pool import BufferPool
+from repro.core.profiling_opt import OnlineKernelProfiler
+from repro.core.scheduler import CpuScheduler
+from repro.core.stats import KernelRecord
+from repro.hw.machine import Machine
+from repro.kernels.dsl import KernelSpec
+from repro.kernels.transforms import gpu_fluidic_variant, plain_variant
+from repro.ocl.buffer import Buffer
+from repro.ocl.enums import MemFlag
+from repro.ocl.executor import LaunchConfig, StatusBoard
+from repro.ocl.kernel import Kernel
+from repro.ocl.ndrange import NDRange
+from repro.ocl.platform import Platform
+from repro.ocl.runtime import AbstractRuntime, KernelVersions
+
+__all__ = ["FluidiCLRuntime"]
+
+
+@dataclass
+class _KernelPlan:
+    """Everything one cooperative kernel execution needs to coordinate."""
+
+    kernel_id: int
+    specs: List[KernelSpec]
+    ndrange: NDRange
+    args: Dict[str, Any]
+    out_fbuffers: List[FluidiBuffer]
+    board: StatusBoard
+    gpu_event: Any
+    #: landing buffers on the GPU for CPU-computed data, by arg name
+    cpu_in: Dict[str, Buffer]
+    #: pristine copies of the original contents, by arg name
+    orig: Dict[str, Buffer]
+    profiler: OnlineKernelProfiler
+    record: KernelRecord
+    #: CPU-side version each buffer must reach before subkernels start (§5.3)
+    required_cpu_versions: Dict[FluidiBuffer, int] = field(default_factory=dict)
+
+    def cpu_args(self, spec: KernelSpec) -> Dict[str, Any]:
+        return {
+            a.name: (self.args[a.name].cpu if a.is_buffer else self.args[a.name])
+            for a in spec.args
+        }
+
+    def gpu_args(self, spec: KernelSpec) -> Dict[str, Any]:
+        return {
+            a.name: (self.args[a.name].gpu if a.is_buffer else self.args[a.name])
+            for a in spec.args
+        }
+
+
+class FluidiCLRuntime(AbstractRuntime):
+    """Cooperative CPU+GPU execution behind the single-device OpenCL API."""
+
+    def __init__(self, machine: Machine, config: Optional[FluidiCLConfig] = None,
+                 platform: Optional[Platform] = None):
+        super().__init__(machine)
+        self.config = config or FluidiCLConfig()
+        self.platform = platform or Platform(machine)
+        self.gpu_device = self.platform.gpu
+        self.cpu_device = self.platform.cpu
+        self.context = self.platform.create_context()
+        # The application queue plus the two extra transfer queues (§5.4).
+        self.app_queue = self.context.create_queue(self.gpu_device, "fluidicl-app")
+        self.hd_queue = self.context.create_queue(self.gpu_device, "fluidicl-hd")
+        self.dh_queue = self.context.create_queue(self.gpu_device, "fluidicl-dh")
+        self.cpu_queue = self.context.create_queue(self.cpu_device, "fluidicl-cpu")
+        # Host reads of the CPU copy must not serialize behind (possibly
+        # stale) CPU subkernels, so they travel on their own queue, with
+        # explicit event dependencies on the writes they need.
+        self.cpu_io_queue = self.context.create_queue(self.cpu_device, "fluidicl-cpu-io")
+        self.pool = BufferPool(self.gpu_device, enabled=self.config.use_buffer_pool)
+        self._versions = itertools.count(1)
+        self.buffers: List[FluidiBuffer] = []
+        self.records: List[KernelRecord] = []
+        self._dh_processes: List[Any] = []
+        self.stats.extra.update(
+            gpu_input_refreshes=0,
+            reads_from_cpu=0,
+            reads_from_gpu=0,
+            stale_dh_discards=0,
+            merges=0,
+        )
+
+    # ------------------------------------------------------------------
+    # OpenCL-shaped API
+    # ------------------------------------------------------------------
+    def create_buffer(self, name: str, shape, dtype,
+                      flags: MemFlag = MemFlag.READ_WRITE) -> FluidiBuffer:
+        """``clCreateBuffer``: allocates mirrors on both devices (§4.1)."""
+        self.machine.host_api_call()
+        gpu_buf = self.context.create_buffer(
+            self.gpu_device, shape, dtype, flags, f"{name}@gpu"
+        )
+        cpu_buf = self.context.create_buffer(
+            self.cpu_device, shape, dtype, flags, f"{name}@cpu"
+        )
+        fbuf = FluidiBuffer(self.engine, name, gpu_buf, cpu_buf, flags)
+        self.buffers.append(fbuf)
+        return fbuf
+
+    def enqueue_write_buffer(self, handle: FluidiBuffer,
+                             host_array: np.ndarray) -> None:
+        """``clEnqueueWriteBuffer``: one host call, two device transfers."""
+        self.machine.host_api_call()
+        version = next(self._versions)
+        snapshot = np.array(host_array, copy=True)
+        self.app_queue.enqueue_write_buffer(handle.gpu, snapshot)
+        handle.last_cpu_write = self.cpu_queue.enqueue_write_buffer(
+            handle.cpu, snapshot
+        )
+        handle.commit_host_write(version)
+        self.stats.writes += 1
+
+    def enqueue_read_buffer(self, handle: FluidiBuffer,
+                            host_array: np.ndarray) -> None:
+        """Blocking ``clEnqueueReadBuffer`` with location tracking (§6.2).
+
+        If the most recent data is already on the CPU (a CPU-complete
+        kernel, or a finished device-to-host read-back), no PCIe transfer
+        is issued at all.
+        """
+        self.machine.host_api_call()
+        use_cpu_copy = handle.cpu_current and (
+            self.config.location_tracking or not handle.gpu_current
+        )
+        if use_cpu_copy:
+            if handle.last_cpu_write is not None and not handle.last_cpu_write.is_complete:
+                self.machine.run_until(handle.last_cpu_write.done)
+            event = self.cpu_io_queue.enqueue_read_buffer(handle.cpu, host_array)
+            self.stats.extra["reads_from_cpu"] += 1
+        elif handle.gpu_current:
+            event = self.dh_queue.enqueue_read_buffer(handle.gpu, host_array)
+            self.stats.extra["reads_from_gpu"] += 1
+        else:
+            raise RuntimeError(
+                f"buffer {handle.name!r} has no coherent copy anywhere"
+            )
+        self.machine.run_until(event.done)
+        self.stats.reads += 1
+
+    def finish(self) -> None:
+        """``clFinish`` on the application-visible work.
+
+        Waits for the GPU-side queues.  A *stale* CPU subkernel (launched
+        just before its kernel completed elsewhere) keeps running in the
+        background and is intentionally not joined — its results are
+        discarded and the host program never observes it, matching the
+        paper's non-joined scheduler pthread.  Use :meth:`drain` to wait
+        for literally everything (tests do).
+        """
+        self.machine.host_api_call()
+        events = [
+            self.app_queue.finish_event(),
+            self.hd_queue.finish_event(),
+            self.dh_queue.finish_event(),
+        ]
+        self.machine.run_until(self.engine.all_of(events))
+
+    def drain(self) -> None:
+        """Wait for every queue and background thread to go idle."""
+        events = [
+            self.app_queue.finish_event(),
+            self.hd_queue.finish_event(),
+            self.dh_queue.finish_event(),
+            self.cpu_queue.finish_event(),
+        ]
+        pending = [p for p in self._dh_processes if not p.triggered]
+        self.machine.run_until(self.engine.all_of(events + pending))
+        self._dh_processes = [p for p in self._dh_processes if not p.triggered]
+
+    def release(self) -> None:
+        self.pool.drain()
+        self.context.release()
+
+    # ------------------------------------------------------------------
+    # Cooperative kernel execution (§4.2)
+    # ------------------------------------------------------------------
+    def enqueue_nd_range_kernel(self, versions: KernelVersions, ndrange: NDRange,
+                                args: Mapping[str, Any]) -> KernelRecord:
+        self.machine.host_api_call()
+        specs = self._as_versions(versions)
+        base = specs[0]
+        base.bind_check(args)
+        kernel_id = next(self._versions)
+        record = KernelRecord(
+            kernel_id=kernel_id,
+            name=base.name,
+            total_groups=ndrange.total_groups,
+            start_time=self.now,
+        )
+
+        arg_fbuffers = self._arg_fbuffers(base, args)
+        out_fbuffers = [args[a.name] for a in base.out_args]
+
+        # Versions every CPU copy must reach before subkernels may run; the
+        # merge-diff additionally needs the CPU copy of every *written*
+        # buffer to match the GPU's original copy, hence "all buffers".
+        # Buffers already current stay out of the map: expect_write() is
+        # about to mark the out-buffers dirty and nothing would re-fire
+        # their gates.
+        required_cpu_versions = {
+            fb: fb.latest for fb in arg_fbuffers if not fb.cpu_current
+        }
+
+        self._refresh_gpu_inputs(arg_fbuffers)
+        for fbuf in out_fbuffers:
+            fbuf.expect_write(kernel_id)
+
+        plan = self._prepare_plan(
+            kernel_id, specs, ndrange, dict(args), out_fbuffers, record,
+            required_cpu_versions,
+        )
+
+        # Block (kernel calls are blocking, §7) until the GPU kernel exits.
+        # The scheduler thread is NOT joined: an in-flight CPU subkernel
+        # runs to completion in the background and its results are simply
+        # discarded — the next kernel's CPU work queues behind it on the
+        # in-order CPU queue, exactly as with the paper's pthread scheduler.
+        scheduler = CpuScheduler(self, plan)
+        self.machine.run_until(plan.gpu_event.done)
+        plan.board.finalize()
+
+        gpu_result = plan.gpu_event.result
+        record.gpu_groups = gpu_result.executed_groups
+        record.gpu_span = (gpu_result.start_time, gpu_result.end_time)
+
+        # The CPU "completed the whole NDRange first" only if the final
+        # status (data included) made it to the GPU (§4.2).
+        cpu_complete = plan.board.frontier == 0
+        if cpu_complete:
+            self._commit_cpu_complete(plan)
+        else:
+            self._merge_and_commit(plan)
+
+        record.end_time = self.now
+        self.pool.trim()
+        self.records.append(record)
+        self.stats.kernels_enqueued += 1
+        return record
+
+    # ------------------------------------------------------------------
+    def _arg_fbuffers(self, spec: KernelSpec, args: Mapping[str, Any]) -> List[FluidiBuffer]:
+        fbuffers: List[FluidiBuffer] = []
+        for arg_spec in spec.buffer_args:
+            value = args[arg_spec.name]
+            if not isinstance(value, FluidiBuffer):
+                raise TypeError(
+                    f"argument {arg_spec.name!r} must be a FluidiCL buffer "
+                    f"handle, got {type(value).__name__}"
+                )
+            if value not in fbuffers:
+                fbuffers.append(value)
+        return fbuffers
+
+    def _refresh_gpu_inputs(self, fbuffers: List[FluidiBuffer]) -> None:
+        """Bring stale GPU copies up to date before launching (cf. §6.2).
+
+        A GPU copy can only be stale when the previous writer committed on
+        the CPU (CPU-complete path), in which case the CPU copy is current
+        and quiescent, so snapshotting host-side here is race-free.
+        """
+        for fbuf in fbuffers:
+            if fbuf.gpu_current:
+                continue
+            if not fbuf.cpu_current:
+                raise RuntimeError(
+                    f"buffer {fbuf.name!r} stale on both devices"
+                )
+            snapshot = fbuf.cpu.snapshot()
+            self.app_queue.enqueue_write_buffer(fbuf.gpu, snapshot)
+            fbuf.mark_gpu_refreshed(fbuf.latest)
+            self.stats.extra["gpu_input_refreshes"] += 1
+
+    def _prepare_plan(self, kernel_id, specs, ndrange, args, out_fbuffers,
+                      record, required_cpu_versions) -> _KernelPlan:
+        base = specs[0]
+        # Helper buffers on the GPU: CPU-data landing area + original copy
+        # per out/inout buffer (§4.1), served from the pool (§6.1).
+        cpu_in: Dict[str, Buffer] = {}
+        orig: Dict[str, Buffer] = {}
+        alloc_seconds = 0.0
+        for fbuf in out_fbuffers:
+            landing, t_a = self.pool.acquire(fbuf.shape, fbuf.dtype, "cpuin")
+            pristine, t_b = self.pool.acquire(fbuf.shape, fbuf.dtype, "orig")
+            cpu_in[fbuf.name] = landing
+            orig[fbuf.name] = pristine
+            alloc_seconds += t_a + t_b
+        if alloc_seconds:
+            self.engine.run(self.now + alloc_seconds)
+
+        for fbuf in out_fbuffers:
+            self.app_queue.enqueue_copy_buffer(fbuf.gpu, orig[fbuf.name])
+
+        board = StatusBoard(self.engine, ndrange.total_groups, kernel_id)
+        gpu_variant = gpu_fluidic_variant(
+            base,
+            abort_in_loops=self.config.abort_in_loops,
+            unroll=self.config.loop_unroll,
+        )
+        profiler = OnlineKernelProfiler(specs, enabled=self.config.online_profiling)
+        plan = _KernelPlan(
+            kernel_id=kernel_id,
+            specs=list(specs),
+            ndrange=ndrange,
+            args=args,
+            out_fbuffers=out_fbuffers,
+            board=board,
+            gpu_event=None,
+            cpu_in=cpu_in,
+            orig=orig,
+            profiler=profiler,
+            record=record,
+            required_cpu_versions=required_cpu_versions,
+        )
+        gpu_kernel = Kernel(gpu_variant, plan.gpu_args(base))
+        plan.gpu_event = self.app_queue.enqueue_nd_range_kernel(
+            gpu_kernel, ndrange,
+            LaunchConfig(status_board=board, kernel_id=kernel_id),
+        )
+        return plan
+
+    def _commit_cpu_complete(self, plan: _KernelPlan) -> None:
+        """§4.2: CPU finished the whole NDRange; GPU results are ignored."""
+        record = plan.record
+        record.cpu_completed_all = True
+        record.cpu_groups = plan.ndrange.total_groups
+        for fbuf in plan.out_fbuffers:
+            fbuf.commit_cpu(plan.kernel_id)
+        self._release_helpers_after_hd_drain(plan)
+
+    def _merge_and_commit(self, plan: _KernelPlan) -> None:
+        """Normal path: diff+merge on the GPU, then background read-back."""
+        record = plan.record
+        record.cpu_groups = plan.board.cpu_completed_groups
+
+        if plan.board.cpu_completed_groups > 0:
+            for fbuf in plan.out_fbuffers:
+                self._enqueue_merge(plan, fbuf)
+            record.merged = True
+            self.stats.extra["merges"] += len(plan.out_fbuffers)
+
+        # Read-back staging copies so the next kernel can overwrite the live
+        # buffers while results stream to the host (§5.5).
+        readback: Dict[str, Buffer] = {}
+        alloc_seconds = 0.0
+        for fbuf in plan.out_fbuffers:
+            staging, t_alloc = self.pool.acquire(fbuf.shape, fbuf.dtype, "readback")
+            readback[fbuf.name] = staging
+            alloc_seconds += t_alloc
+        if alloc_seconds:
+            self.engine.run(self.now + alloc_seconds)
+        for fbuf in plan.out_fbuffers:
+            self.app_queue.enqueue_copy_buffer(fbuf.gpu, readback[fbuf.name])
+
+        # The blocking kernel call returns once the merged result exists.
+        self.machine.run_until(self.app_queue.finish_event())
+        for fbuf in plan.out_fbuffers:
+            fbuf.commit_gpu(plan.kernel_id)
+            fbuf.dh_pending = True
+
+        self._spawn_dh_thread(plan, readback)
+        self._release_helpers_after_hd_drain(plan)
+
+    def _enqueue_merge(self, plan: _KernelPlan, fbuf: FluidiBuffer) -> None:
+        count = int(np.prod(fbuf.shape, dtype=np.int64))
+        merge_spec = build_merge_kernel(fbuf.nbytes, fbuf.dtype.itemsize)
+        merge_kernel = Kernel(
+            plain_variant(merge_spec),
+            {
+                "cpu_buf": plan.cpu_in[fbuf.name],
+                "orig": plan.orig[fbuf.name],
+                "gpu_buf": fbuf.gpu,
+                "number_elems": count,
+            },
+        )
+        self.app_queue.enqueue_nd_range_kernel(merge_kernel, merge_ndrange(count))
+
+    def _spawn_dh_thread(self, plan: _KernelPlan, readback: Dict[str, Buffer]) -> None:
+        """Device-to-host thread (§5.6), one per kernel, runs in background."""
+        process = self.engine.process(
+            self._dh_thread(plan, readback), name=f"fluidicl-dh-k{plan.kernel_id}"
+        )
+        self._dh_processes.append(process)
+
+    def _dh_thread(self, plan: _KernelPlan, readback: Dict[str, Buffer]):
+        yield self.engine.timeout(self.machine.host.thread_spawn_overhead)
+        kernel_id = plan.kernel_id
+        for fbuf in plan.out_fbuffers:
+            staging_buffer = readback[fbuf.name]
+            host_staging = np.empty(fbuf.shape, dtype=fbuf.dtype)
+            read_event = self.dh_queue.enqueue_read_buffer(
+                staging_buffer, host_staging
+            )
+            yield read_event.done
+            if fbuf.latest == kernel_id:
+                write_event = self.cpu_queue.enqueue_write_buffer(
+                    fbuf.cpu, host_staging
+                )
+                fbuf.last_cpu_write = write_event
+                yield write_event.done
+                if fbuf.latest == kernel_id:
+                    fbuf.mark_cpu_refreshed(kernel_id)
+                else:
+                    self.stats.extra["stale_dh_discards"] += 1
+            else:
+                # The buffer was rewritten meanwhile; discard (§5.3).
+                self.stats.extra["stale_dh_discards"] += 1
+            self.pool.release(staging_buffer)
+
+    def _release_helpers_after_hd_drain(self, plan: _KernelPlan) -> None:
+        """Return cpu_in/orig buffers to the pool once in-flight CPU sends
+        (whose results are now moot) have drained out of the ``hd`` queue."""
+        helpers = list(plan.cpu_in.values()) + list(plan.orig.values())
+        if not helpers:
+            return
+
+        def release(_queue):
+            for buffer in helpers:
+                self.pool.release(buffer)
+
+        self.hd_queue.enqueue_callback(release, label=f"release k{plan.kernel_id}")

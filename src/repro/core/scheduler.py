@@ -1,0 +1,155 @@
+"""The CPU scheduler thread (paper §4.2, §5.1, §5.2, §6.6).
+
+One scheduler process is spawned per kernel launch.  It waits until the CPU
+copies of the kernel's buffers are up to date (buffer version tracking,
+§5.3), then repeatedly launches CPU *subkernels* over shrinking flattened
+work-group windows from the top of the NDRange, feeding results and status
+messages to the GPU through the ``hd`` queue, until either the work runs out
+or the GPU kernel exits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunking import AdaptiveChunker
+from repro.core.offsets import subkernel_slice
+from repro.kernels.transforms import cpu_subkernel_variant
+from repro.ocl.executor import LaunchConfig
+from repro.ocl.kernel import Kernel
+
+__all__ = ["CpuScheduler"]
+
+
+class CpuScheduler:
+    """Drives CPU-side cooperative execution for one kernel launch."""
+
+    def __init__(self, runtime, plan):
+        self.runtime = runtime
+        self.plan = plan
+        #: lowest flattened group ID the CPU has *executed* down to
+        self.frontier = plan.ndrange.total_groups
+        #: total surplus groups launched due to covering slices (§5.2)
+        self.surplus_groups = 0
+        self.process = runtime.engine.process(
+            self._run(), name=f"fluidicl-sched-k{plan.kernel_id}"
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        runtime = self.runtime
+        plan = self.plan
+        engine = runtime.engine
+        config = runtime.config
+        gpu_done = plan.gpu_event.done
+
+        yield engine.timeout(runtime.machine.host.thread_spawn_overhead)
+
+        # -- §5.3: wait until the CPU copies reach the pre-kernel versions --
+        for fbuf, required in plan.required_cpu_versions.items():
+            while fbuf.version_cpu < required:
+                if gpu_done.triggered:
+                    return
+                yield engine.any_of([fbuf.cpu_gate.wait(), gpu_done])
+
+        chunker = AdaptiveChunker(
+            plan.ndrange.total_groups,
+            runtime.cpu_device.spec.compute_units,
+            initial_fraction=config.initial_chunk_fraction,
+            step_fraction=config.chunk_step_fraction,
+        )
+        plan.record.chunker = chunker
+        profiler = plan.profiler
+
+        # §6.6: each alternate version is probed with a deliberately small
+        # allocation before committing to the fastest one.
+        probe_chunk = max(
+            runtime.cpu_device.spec.compute_units,
+            plan.ndrange.total_groups // 100,
+        )
+        while self.frontier > 0 and not gpu_done.triggered:
+            spec = profiler.next_version()
+            if profiler.probing:
+                chunk = min(probe_chunk, self.frontier)
+            else:
+                chunk = chunker.next_chunk(self.frontier)
+            start = self.frontier - chunk
+
+            launch_geometry = subkernel_slice(plan.ndrange, start, self.frontier)
+            self.surplus_groups += launch_geometry.surplus_groups
+            plan.record.surplus_groups = self.surplus_groups
+
+            variant = cpu_subkernel_variant(spec, wg_split=config.cpu_wg_split)
+            kernel = Kernel(variant, plan.cpu_args(spec))
+            launch = LaunchConfig(
+                fid_start=start,
+                fid_end=self.frontier,
+                kernel_id=plan.kernel_id,
+                wg_split_allowed=config.cpu_wg_split,
+            )
+            began = engine.now
+            event = runtime.cpu_queue.enqueue_nd_range_kernel(
+                kernel, plan.ndrange, launch
+            )
+            yield event.done
+            elapsed = engine.now - began
+
+            plan.record.subkernels += 1
+            plan.record.chunks.append(chunk)
+            plan.record.cpu_groups_executed += chunk
+            if profiler.probing:
+                profiler.observe(elapsed / chunk)
+            else:
+                chunker.observe(chunk, elapsed)
+            if profiler.chosen is not None:
+                plan.record.version_used = profiler.chosen.version
+
+            self.frontier = start
+            if not plan.board.finalized:
+                yield from self._send_results_and_status(start)
+
+        plan.record.version_used = (
+            profiler.chosen.version if profiler.chosen is not None
+            else profiler.versions[0].version
+        )
+
+    # ------------------------------------------------------------------
+    def _send_results_and_status(self, frontier: int):
+        """Ship computed out-buffers then the status message (§4.2, §5.5).
+
+        Data is snapshotted into intermediate host copies (costing host
+        memcpy time on this thread) so subsequent subkernels can keep
+        writing the live CPU buffers while the PCIe transfer proceeds.
+        """
+        runtime = self.runtime
+        plan = self.plan
+        engine = runtime.engine
+        host = runtime.machine.host
+
+        board = plan.board
+        for fbuf in plan.out_fbuffers:
+            yield engine.timeout(fbuf.nbytes / host.memcpy_bandwidth)
+            snapshot: np.ndarray = fbuf.cpu.snapshot()
+            # The kernel may have been finalized while we copied; its helper
+            # buffers are scheduled for release, so stop sending (§5.3).
+            if board.finalized:
+                return
+            runtime.hd_queue.enqueue_write_buffer(
+                plan.cpu_in[fbuf.name], snapshot
+            )
+
+        if board.finalized:
+            return
+        status_seconds = runtime.gpu_device.link.transfer_time(
+            runtime.config.status_message_bytes
+        )
+
+        def deliver_status(_queue, value=frontier):
+            board.update(engine.now, value)
+
+        runtime.hd_queue.enqueue_callback(
+            deliver_status,
+            engine="h2d",
+            duration=status_seconds,
+            label=f"status k{plan.kernel_id} -> {frontier}",
+        )

@@ -1,0 +1,65 @@
+"""Per-kernel execution records produced by the FluidiCL runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["KernelRecord"]
+
+
+@dataclass
+class KernelRecord:
+    """What happened during one cooperative kernel execution."""
+
+    kernel_id: int
+    name: str
+    total_groups: int
+    #: work-groups whose bodies the GPU executed
+    gpu_groups: int = 0
+    #: work-groups credited to the CPU (status + data arrived in time)
+    cpu_groups: int = 0
+    #: work-groups the CPU executed (including ones whose results were
+    #: ultimately ignored because the GPU got there first)
+    cpu_groups_executed: int = 0
+    #: CPU subkernel launches
+    subkernels: int = 0
+    #: chunk sizes used, in launch order
+    chunks: List[int] = field(default_factory=list)
+    #: groups launched beyond the useful windows by covering slices (§5.2)
+    surplus_groups: int = 0
+    #: True when the CPU finished the whole NDRange first (§4.2)
+    cpu_completed_all: bool = False
+    #: True when the data-merge step ran on the GPU
+    merged: bool = False
+    #: kernel version picked by online profiling, if any
+    version_used: Optional[str] = None
+    start_time: float = 0.0
+    end_time: float = 0.0
+    #: (start, end) of the GPU-side kernel command
+    gpu_span: Tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def cpu_share(self) -> float:
+        """Fraction of the NDRange credited to the CPU."""
+        if self.total_groups == 0:
+            return 0.0
+        return self.cpu_groups / self.total_groups
+
+    @property
+    def wasted_cpu_groups(self) -> int:
+        """CPU work that arrived too late to be counted."""
+        return max(0, self.cpu_groups_executed - self.cpu_groups)
+
+    def summary(self) -> str:
+        return (
+            f"kernel {self.kernel_id} {self.name!r}: {self.total_groups} groups, "
+            f"gpu={self.gpu_groups} cpu={self.cpu_groups} "
+            f"({self.cpu_share:.0%} cpu), {self.subkernels} subkernels, "
+            f"{'cpu-complete' if self.cpu_completed_all else 'merged' if self.merged else 'gpu-only'}, "
+            f"{self.duration * 1e3:.2f} ms"
+        )

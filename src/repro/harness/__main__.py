@@ -1,0 +1,47 @@
+"""Regenerate every table/figure: ``python -m repro.harness [ids...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.harness.extensions import EXTENSION_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the FluidiCL paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=list(ALL_EXPERIMENTS),
+        help=(
+            "experiment ids to run (default: the paper artifacts "
+            f"{', '.join(ALL_EXPERIMENTS)}; extensions: "
+            f"{', '.join(EXTENSION_EXPERIMENTS)})"
+        ),
+    )
+    parser.add_argument(
+        "--extensions", action="store_true",
+        help="also run the extension experiments after the requested ones",
+    )
+    args = parser.parse_args(argv)
+    experiment_ids = list(args.experiments)
+    if args.extensions:
+        experiment_ids += [
+            e for e in EXTENSION_EXPERIMENTS if e not in experiment_ids
+        ]
+    for experiment_id in experiment_ids:
+        began = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - began
+        print(result.render())
+        print(f"  [harness wall time: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Background system-load injection.
+
+The paper: "Because it is dynamic, the runtime is also able to adapt to
+system load."  :class:`BackgroundLoad` simulates a competing process that
+periodically occupies a device's compute engine; FluidiCL's subkernels
+contend with it, the measured time-per-work-group degrades, and the
+adaptive machinery shifts work toward the other device — with zero
+configuration changes.
+"""
+
+from __future__ import annotations
+
+from repro.ocl.device import Device
+from repro.sim.core import Interrupt
+
+__all__ = ["BackgroundLoad"]
+
+
+class BackgroundLoad:
+    """Duty-cycled occupation of a device's compute engine."""
+
+    def __init__(self, device: Device, duty: float = 0.5,
+                 period: float = 2e-3):
+        if not 0.0 <= duty < 1.0:
+            raise ValueError("duty must be in [0, 1)")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.device = device
+        self.duty = duty
+        self.period = period
+        self.busy_time = 0.0
+        self._process = None
+        if duty > 0:
+            self._process = device.engine.process(
+                self._run(), name=f"load@{device.name}"
+            )
+
+    def _run(self):
+        """Fair-share load with deficit accounting.
+
+        A real CPU-bound competitor keeps its ``duty`` share of wall time:
+        while our (sub)kernel holds the device, the competitor's entitlement
+        accrues as a *deficit*, repaid as a longer burst once it gets the
+        engine back — which is exactly how an OS scheduler would interleave
+        it at coarse granularity.
+        """
+        engine = self.device.engine
+        deficit = 0.0
+        last = engine.now
+        burst_cap = 64 * self.period
+        try:
+            while True:
+                request = self.device.compute.request()
+                yield request
+                now = engine.now
+                deficit += self.duty * (now - last)
+                last = now
+                # Burst long enough that, counting the entitlement accrued
+                # *during* the burst itself, the deficit lands at zero:
+                # burst = (deficit + duty*burst)  =>  burst = deficit/(1-duty).
+                burst = min(
+                    max(deficit / (1.0 - self.duty), self.duty * self.period),
+                    burst_cap,
+                )
+                try:
+                    yield engine.timeout(burst)
+                finally:
+                    self.device.compute.release(request)
+                self.busy_time += burst
+                now = engine.now
+                deficit = max(0.0, deficit + self.duty * (now - last) - burst)
+                last = now
+                yield engine.timeout((1.0 - self.duty) * self.period)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """End the load (lets the simulation drain cleanly)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("load stopped")
+            self._process = None

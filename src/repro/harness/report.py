@@ -1,0 +1,79 @@
+"""Result containers and ASCII-table rendering for the harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "geomean"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a list-of-rows as a boxed ASCII table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [sep]
+    out.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    out.append(sep)
+    for row in cells:
+        out.append(
+            "| " + " | ".join(v.rjust(w) for v, w in zip(row, widths)) + " |"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    #: free-form observations (e.g. geomeans, paper-expected values)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key) -> List:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.headers)]
+        for row in self.rows:
+            lines.append(",".join(_cell(v) for v in row))
+        return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Synthetic workloads used by the extension experiments and tests.
+
+These are not Polybench benchmarks; they are shaped to isolate one
+mechanism each (e.g. a CPU-winning kernel with a huge output buffer, to
+expose the benefit of data-location tracking).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hw.cost import WorkGroupCost
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg, scalar_arg
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import AbstractRuntime
+from repro.polybench.common import DTYPE, KernelMeta, PolybenchApp
+
+__all__ = ["MatrixScaleApp", "VolumeSquareApp", "volume_square_kernel"]
+
+ROWS_PER_GROUP = 16
+
+
+def _scale_body(ctx) -> None:
+    rows = ctx.rows()
+    ctx["out"][rows, :] = ctx["alpha"] * ctx["data"][rows, :]
+
+
+def matrix_scale_kernel(n: int) -> KernelSpec:
+    """Elementwise whole-matrix scale; CPU-leaning, output = full matrix."""
+    itemsize = np.dtype(DTYPE).itemsize
+    return KernelSpec(
+        name="matrix_scale",
+        args=(buffer_arg("data"), buffer_arg("out", Intent.OUT),
+              scalar_arg("alpha")),
+        body=_scale_body,
+        cost=WorkGroupCost(
+            flops=float(ROWS_PER_GROUP * n),
+            bytes_read=ROWS_PER_GROUP * n * itemsize,
+            bytes_written=ROWS_PER_GROUP * n * itemsize,
+            loop_iters=max(1, n // 16),
+            compute_efficiency={"cpu": 0.85, "gpu": 0.50},
+            memory_efficiency={"cpu": 0.35, "gpu": 0.02},
+        ),
+    )
+
+
+class MatrixScaleApp(PolybenchApp):
+    """``out = alpha * data`` over an ``n x n`` matrix (CPU-winning)."""
+
+    name = "matscale"
+
+    def __init__(self, n: int = 2048, alpha: float = 1.7, seed: int = 7):
+        super().__init__(seed)
+        if n % ROWS_PER_GROUP != 0:
+            raise ValueError(f"n must be a multiple of {ROWS_PER_GROUP}")
+        self.n = n
+        self.alpha = alpha
+
+    @property
+    def input_size_label(self) -> str:
+        return f"({self.n}, {self.n})"
+
+    def build_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"data": rng.standard_normal((self.n, self.n)).astype(DTYPE)}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {
+            "out": self.alpha * inputs["data"].astype(np.float64),
+            "echo": inputs["data"].astype(np.float64),
+        }
+
+    def _ndrange(self) -> NDRange:
+        return NDRange(self.n, ROWS_PER_GROUP)
+
+    def kernel_metas(self) -> List[KernelMeta]:
+        return [KernelMeta("matrix_scale", self._ndrange())]
+
+    def host_program(self, runtime: AbstractRuntime,
+                     inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        n = self.n
+        buf_data = runtime.create_buffer("data", (n, n), DTYPE)
+        buf_out = runtime.create_buffer("out", (n, n), DTYPE)
+        runtime.enqueue_write_buffer(buf_data, inputs["data"])
+        runtime.enqueue_nd_range_kernel(
+            matrix_scale_kernel(n), self._ndrange(),
+            {"data": buf_data, "out": buf_out, "alpha": self.alpha},
+        )
+        out = np.empty((n, n), dtype=DTYPE)
+        runtime.enqueue_read_buffer(buf_out, out)
+        # Read the (unchanged) input back too — the host-resident-data case
+        # location tracking exists for (section 6.2).
+        echo = np.empty((n, n), dtype=DTYPE)
+        runtime.enqueue_read_buffer(buf_data, echo)
+        return {"out": out, "echo": echo}
+
+
+# ---------------------------------------------------------------------------
+# 3-D workload: exercises rank-3 NDRanges end to end (covering slices over
+# the slowest dimension, flattened IDs across three dims).
+# ---------------------------------------------------------------------------
+
+VOL_TILE = (8, 8, 4)  # work-items per work-group, (x, y, z)
+
+
+def _vol_body(ctx) -> None:
+    x0, x1 = ctx.item_range(0)
+    y0, y1 = ctx.item_range(1)
+    z0, z1 = ctx.item_range(2)
+    block = ctx["vol"][z0:z1, y0:y1, x0:x1]
+    ctx["out"][z0:z1, y0:y1, x0:x1] = block * block + ctx["bias"]
+
+
+def volume_square_kernel(side: int) -> KernelSpec:
+    """``out = vol^2 + bias`` over a cubic volume (rank-3 NDRange)."""
+    itemsize = np.dtype(DTYPE).itemsize
+    items = VOL_TILE[0] * VOL_TILE[1] * VOL_TILE[2]
+    return KernelSpec(
+        name="volume_square",
+        args=(buffer_arg("vol"), buffer_arg("out", Intent.OUT),
+              scalar_arg("bias")),
+        body=_vol_body,
+        cost=WorkGroupCost(
+            flops=2.0 * items * 64,
+            bytes_read=items * itemsize * 64,
+            bytes_written=items * itemsize * 64,
+            loop_iters=16,
+            compute_efficiency={"cpu": 0.6, "gpu": 0.25},
+            memory_efficiency={"cpu": 0.45, "gpu": 0.12},
+        ),
+    )
+
+
+class VolumeSquareApp(PolybenchApp):
+    """Rank-3 NDRange workload over a ``side^3`` volume."""
+
+    name = "volsquare"
+
+    def __init__(self, side: int = 64, bias: float = 0.5, seed: int = 7):
+        super().__init__(seed)
+        for dim, tile in enumerate(VOL_TILE):
+            if side % tile != 0:
+                raise ValueError(f"side must be a multiple of {tile} (dim {dim})")
+        self.side = side
+        self.bias = bias
+
+    @property
+    def input_size_label(self) -> str:
+        return f"({self.side}^3)"
+
+    def build_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        side = self.side
+        return {"vol": rng.standard_normal((side, side, side)).astype(DTYPE)}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        vol = inputs["vol"].astype(np.float64)
+        return {"out": vol * vol + self.bias}
+
+    def _ndrange(self) -> NDRange:
+        side = self.side
+        return NDRange((side, side, side), VOL_TILE)
+
+    def kernel_metas(self) -> List[KernelMeta]:
+        return [KernelMeta("volume_square", self._ndrange())]
+
+    def host_program(self, runtime: AbstractRuntime,
+                     inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        side = self.side
+        shape = (side, side, side)
+        buf_vol = runtime.create_buffer("vol", shape, DTYPE)
+        buf_out = runtime.create_buffer("out", shape, DTYPE)
+        runtime.enqueue_write_buffer(buf_vol, inputs["vol"])
+        runtime.enqueue_nd_range_kernel(
+            volume_square_kernel(side), self._ndrange(),
+            {"vol": buf_vol, "out": buf_out, "bias": self.bias},
+        )
+        out = np.empty(shape, dtype=DTYPE)
+        runtime.enqueue_read_buffer(buf_out, out)
+        return {"out": out}

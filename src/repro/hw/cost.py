@@ -1,0 +1,112 @@
+"""Analytic work-group cost model.
+
+Every kernel carries a :class:`WorkGroupCost` describing the useful work of a
+single work-group plus per-device efficiency factors.  The executor turns it
+into simulated seconds with :func:`wg_time` using a roofline rule: a
+work-group in a full wave owns a ``1/concurrent_workgroups`` slice of the
+device's peak compute and bandwidth, and its duration is the larger of its
+compute time and its memory time.
+
+Efficiency factors are how the benchmarks encode their device affinities
+(paper section 3): e.g. a kernel whose accesses coalesce beautifully on the
+GPU but thrash CPU caches has ``memory_efficiency={'gpu': 0.9, 'cpu': 0.15}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.hw.specs import DeviceSpec
+
+__all__ = ["WorkGroupCost", "wg_time", "wave_duration"]
+
+#: Cost multiplier when abort checks live inside loops and the unrolling
+#: transform *was* applied (paper section 6.5): nearly free.
+UNROLLED_CHECK_PENALTY = 1.02
+
+
+@dataclass(frozen=True)
+class WorkGroupCost:
+    """Work performed by one work-group of a kernel."""
+
+    #: floating point operations per work-group
+    flops: float
+    #: bytes read from device memory per work-group
+    bytes_read: float
+    #: bytes written to device memory per work-group
+    bytes_written: float
+    #: number of abort-check opportunities inside the work-group's main loop
+    #: (paper section 6.4); 1 means the work-group is all-or-nothing
+    loop_iters: int = 1
+    #: fraction of peak compute achieved, per device kind ("cpu"/"gpu")
+    compute_efficiency: Dict[str, float] = field(
+        default_factory=lambda: {"cpu": 1.0, "gpu": 1.0}
+    )
+    #: fraction of peak bandwidth achieved, per device kind
+    memory_efficiency: Dict[str, float] = field(
+        default_factory=lambda: {"cpu": 1.0, "gpu": 1.0}
+    )
+    #: slowdown when abort checks are inside loops but unrolling is NOT
+    #: applied (paper Fig. 15, the "NoUnroll" configuration)
+    no_unroll_penalty: float = 1.25
+
+    def __post_init__(self):
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("cost components must be >= 0")
+        if self.loop_iters < 1:
+            raise ValueError("loop_iters must be >= 1")
+        for table in (self.compute_efficiency, self.memory_efficiency):
+            for kind, value in table.items():
+                if not 0 < value <= 1.5:
+                    raise ValueError(
+                        f"efficiency {kind}={value} outside sane range (0, 1.5]"
+                    )
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def with_penalty(self, factor: float) -> "WorkGroupCost":
+        """A copy whose compute cost is inflated by ``factor``."""
+        return replace(self, flops=self.flops * factor)
+
+    def scaled(self, factor: float) -> "WorkGroupCost":
+        """A copy with all work scaled by ``factor`` (e.g. a split fraction)."""
+        return replace(
+            self,
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+        )
+
+
+def wg_time(cost: WorkGroupCost, spec: DeviceSpec, time_multiplier: float = 1.0) -> float:
+    """Seconds for one work-group occupying one slot of a full wave."""
+    kind = spec.kind.value
+    compute_eff = cost.compute_efficiency.get(kind, 1.0)
+    memory_eff = cost.memory_efficiency.get(kind, 1.0)
+    compute_time = cost.flops / (spec.slot_flops * compute_eff)
+    memory_time = cost.bytes_total / (spec.slot_bandwidth * memory_eff)
+    return max(compute_time, memory_time) * time_multiplier
+
+
+def wave_duration(
+    cost: WorkGroupCost,
+    spec: DeviceSpec,
+    wave_size: int,
+    time_multiplier: float = 1.0,
+) -> float:
+    """Duration of one wave of ``wave_size`` identical work-groups.
+
+    Work-groups in a wave run concurrently, so a (possibly partial) wave
+    lasts one work-group time plus the wave issue overhead.
+    """
+    if wave_size < 1:
+        raise ValueError("wave_size must be >= 1")
+    if wave_size > spec.concurrent_workgroups:
+        raise ValueError(
+            f"wave of {wave_size} exceeds device capacity "
+            f"{spec.concurrent_workgroups}"
+        )
+    return spec.wave_overhead + wg_time(cost, spec, time_multiplier)

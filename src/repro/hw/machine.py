@@ -1,0 +1,75 @@
+"""A `Machine` bundles the simulation engine with a hardware description.
+
+One :class:`Machine` corresponds to one experimental run: it owns the
+simulated clock, the host constants and the list of (device, link) pairs.
+The OpenCL layer (:mod:`repro.ocl`) instantiates live devices from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.hw.interconnect import InterconnectSpec
+from repro.hw.specs import (
+    DEFAULT_HOST,
+    HOST_DDR3,
+    PCIE_GEN2_X16,
+    TESLA_C2070,
+    XEON_W3550,
+    DeviceSpec,
+    HostSpec,
+)
+from repro.sim.core import Engine
+from repro.sim.trace import Tracer
+
+__all__ = ["Machine", "build_machine"]
+
+
+@dataclass
+class Machine:
+    """Simulated node: clock + host + devices."""
+
+    engine: Engine
+    host: HostSpec
+    devices: List[Tuple[DeviceSpec, InterconnectSpec]] = field(default_factory=list)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.engine.tracer
+
+    def host_api_call(self) -> None:
+        """Advance the clock by one host API call overhead.
+
+        Host code is not a simulated process, so API-call costs are applied
+        by nudging the clock forward between events.
+        """
+        self.engine.run(self.engine.now + self.host.api_call_overhead)
+
+    def run_until(self, event) -> object:
+        """Block host execution until ``event`` triggers (drives the engine)."""
+        return self.engine.run(event)
+
+
+def build_machine(
+    gpu: DeviceSpec = TESLA_C2070,
+    cpu: DeviceSpec = XEON_W3550,
+    gpu_link: InterconnectSpec = PCIE_GEN2_X16,
+    cpu_link: InterconnectSpec = HOST_DDR3,
+    host: HostSpec = DEFAULT_HOST,
+    trace: bool = False,
+) -> Machine:
+    """The default testbed: Tesla C2070 over PCIe 2.0 + Xeon W3550.
+
+    Device order is [gpu, cpu] throughout the repository.
+    """
+    engine = Engine(tracer=Tracer() if trace else None)
+    return Machine(
+        engine=engine,
+        host=host,
+        devices=[(gpu, gpu_link), (cpu, cpu_link)],
+    )

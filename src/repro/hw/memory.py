@@ -1,0 +1,62 @@
+"""Device memory accounting.
+
+Buffers allocated on a device draw from a finite capacity; exceeding it
+raises :class:`OutOfDeviceMemoryError` (the simulated analogue of
+``CL_MEM_OBJECT_ALLOCATION_FAILURE``).  FluidiCL's buffer pool (paper
+section 6.1) leans on this to justify reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["DeviceMemory", "OutOfDeviceMemoryError"]
+
+
+class OutOfDeviceMemoryError(MemoryError):
+    """Allocation would exceed the device's memory capacity."""
+
+
+class DeviceMemory:
+    """Tracks allocations on one device."""
+
+    def __init__(self, capacity: float, name: str = "device"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.name = name
+        self._allocations: Dict[int, float] = {}
+        self._next_id = 1
+        self.peak_usage = 0.0
+
+    @property
+    def used(self) -> float:
+        return sum(self._allocations.values())
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    @property
+    def allocation_count(self) -> int:
+        return len(self._allocations)
+
+    def allocate(self, nbytes: float) -> int:
+        """Reserve ``nbytes``; returns an allocation handle."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.used + nbytes > self.capacity:
+            raise OutOfDeviceMemoryError(
+                f"{self.name}: allocating {nbytes:.0f}B with only "
+                f"{self.free:.0f}B free of {self.capacity:.0f}B"
+            )
+        handle = self._next_id
+        self._next_id += 1
+        self._allocations[handle] = float(nbytes)
+        self.peak_usage = max(self.peak_usage, self.used)
+        return handle
+
+    def release(self, handle: int) -> None:
+        if handle not in self._allocations:
+            raise KeyError(f"{self.name}: unknown allocation handle {handle}")
+        del self._allocations[handle]

@@ -1,0 +1,170 @@
+"""Device, host and interconnect specifications (with testbed presets)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "HostSpec",
+    "TESLA_C2070",
+    "XEON_W3550",
+    "PCIE_GEN2_X16",
+    "HOST_DDR3",
+]
+
+
+class DeviceKind(str, enum.Enum):
+    """Coarse device class; cost-model efficiency tables key on this."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a compute device.
+
+    The executor runs work-groups in *waves* of ``concurrent_workgroups``;
+    one wave at full occupancy sustains ``peak_flops`` /
+    ``mem_bandwidth``, so a single work-group slot gets a
+    ``1/concurrent_workgroups`` share of each (see :mod:`repro.hw.cost`).
+    """
+
+    name: str
+    kind: DeviceKind
+    #: hardware parallel units (GPU streaming multiprocessors / CPU threads)
+    compute_units: int
+    #: work-groups resident at once (CUs x work-groups per CU)
+    concurrent_workgroups: int
+    #: peak single-precision throughput, FLOP/s
+    peak_flops: float
+    #: device memory bandwidth, bytes/s
+    mem_bandwidth: float
+    #: device memory capacity, bytes
+    mem_capacity: float
+    #: fixed cost of dispatching one kernel (or subkernel) launch, seconds
+    kernel_launch_overhead: float
+    #: fixed cost of issuing one wave of work-groups, seconds
+    wave_overhead: float
+    #: fraction of peak retained when one work-group is split across all
+    #: compute units (paper section 6.3); only meaningful for the CPU
+    wg_split_efficiency: float = 0.85
+
+    def __post_init__(self):
+        if self.compute_units < 1:
+            raise ValueError("compute_units must be >= 1")
+        if self.concurrent_workgroups < self.compute_units:
+            raise ValueError("concurrent_workgroups must be >= compute_units")
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("peak_flops and mem_bandwidth must be positive")
+
+    @property
+    def slot_flops(self) -> float:
+        """FLOP/s available to a single work-group slot in a full wave."""
+        return self.peak_flops / self.concurrent_workgroups
+
+    @property
+    def slot_bandwidth(self) -> float:
+        """Bytes/s available to a single work-group slot in a full wave."""
+        return self.mem_bandwidth / self.concurrent_workgroups
+
+    def scaled(self, factor: float) -> "DeviceSpec":
+        """A copy with compute and bandwidth scaled (used for what-if tests)."""
+        return replace(
+            self,
+            name=f"{self.name}x{factor:g}",
+            peak_flops=self.peak_flops * factor,
+            mem_bandwidth=self.mem_bandwidth * factor,
+        )
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Host-side constants (the part of the node running the OpenCL program)."""
+
+    #: host memcpy bandwidth (used for the intermediate CPU-side buffer
+    #: copies FluidiCL makes before each host-to-device send), bytes/s
+    memcpy_bandwidth: float
+    #: cost of spawning a pthread (scheduler / device-to-host threads)
+    thread_spawn_overhead: float
+    #: fixed cost of one OpenCL API call on the host
+    api_call_overhead: float
+
+
+# ---------------------------------------------------------------------------
+# Presets approximating the paper's experimental platform (section 8).
+# ---------------------------------------------------------------------------
+
+#: NVidia Tesla C2070: 14 SMs, ~1.03 TFLOP/s SP, 144 GB/s GDDR5, 6 GB.
+TESLA_C2070 = DeviceSpec(
+    name="Tesla C2070",
+    kind=DeviceKind.GPU,
+    compute_units=14,
+    concurrent_workgroups=112,  # 14 SMs x 8 resident work-groups
+    peak_flops=1.03e12,
+    mem_bandwidth=144e9,
+    mem_capacity=6 * 2**30,
+    kernel_launch_overhead=12e-6,
+    wave_overhead=2.5e-6,
+)
+
+#: Intel Xeon W3550: 4 cores / 8 threads @3.07GHz, SSE; the AMD CPU OpenCL
+#: runtime executes one work-group per hardware thread (paper section 6.3).
+XEON_W3550 = DeviceSpec(
+    name="Xeon W3550",
+    kind=DeviceKind.CPU,
+    compute_units=8,
+    concurrent_workgroups=8,
+    peak_flops=49e9,
+    mem_bandwidth=25.6e9,
+    mem_capacity=24 * 2**30,
+    kernel_launch_overhead=180e-6,  # CPU OpenCL runtime enqueue+dispatch
+    wave_overhead=4e-6,
+    wg_split_efficiency=0.85,
+)
+
+#: Intel Xeon Phi 5110P (paper §7: "It can also support other accelerators
+#: like Intel Xeon Phi as long as they are present in the same node").
+#: 60 cores / 240 threads; the OpenCL runtime runs work-groups on threads
+#: like the CPU path, but the card sits across PCIe.
+XEON_PHI_5110P = DeviceSpec(
+    name="Xeon Phi 5110P",
+    kind=DeviceKind.CPU,
+    compute_units=240,
+    concurrent_workgroups=240,
+    peak_flops=2.02e12,
+    mem_bandwidth=160e9,
+    mem_capacity=8 * 2**30,
+    kernel_launch_overhead=350e-6,  # offload dispatch is pricey
+    wave_overhead=6e-6,
+    wg_split_efficiency=0.75,
+)
+
+from repro.hw.interconnect import InterconnectSpec  # noqa: E402  (cycle-free)
+
+#: PCIe 2.0 x16: ~8 GB/s raw, ~5.6 GB/s effective for pinned transfers.
+PCIE_GEN2_X16 = InterconnectSpec(
+    name="PCIe 2.0 x16",
+    latency=12e-6,
+    bandwidth=5.6e9,
+)
+
+#: "Link" between the host program and the CPU OpenCL device: plain memcpy.
+HOST_DDR3 = InterconnectSpec(
+    name="host DDR3",
+    latency=0.8e-6,
+    bandwidth=8.5e9,
+)
+
+#: Default host constants.
+DEFAULT_HOST = HostSpec(
+    memcpy_bandwidth=8.5e9,
+    thread_spawn_overhead=18e-6,
+    api_call_overhead=1.5e-6,
+)

@@ -1,0 +1,47 @@
+"""Kernel DSL, source-to-source style transformations and validation.
+
+OpenCL C kernels are represented as :class:`~repro.kernels.dsl.KernelSpec`
+objects: a per-work-group NumPy body, argument intent declarations
+(``in`` / ``out`` / ``inout``, paper section 4.1) and an analytic
+:class:`~repro.hw.cost.WorkGroupCost`.
+
+The paper's manual kernel rewrites (section 5/6) are modeled as explicit
+transformations in :mod:`repro.kernels.transforms`:
+
+* adding CPU-status abort checks at work-group start (GPU kernels, Fig. 8),
+* pushing abort checks inside loops plus the unrolling fix-up (sections
+  6.4/6.5, reproduced in the Fig. 15 ablation),
+* range checks for CPU subkernels (Fig. 7),
+* CPU work-group splitting (section 6.3).
+"""
+
+from repro.kernels.dsl import (
+    ArgSpec,
+    Intent,
+    KernelSpec,
+    KernelVariant,
+    WorkGroupContext,
+    buffer_arg,
+    scalar_arg,
+)
+from repro.kernels.transforms import (
+    cpu_subkernel_variant,
+    gpu_fluidic_variant,
+    plain_variant,
+)
+from repro.kernels.validation import assert_allclose, relative_error
+
+__all__ = [
+    "ArgSpec",
+    "Intent",
+    "KernelSpec",
+    "KernelVariant",
+    "WorkGroupContext",
+    "assert_allclose",
+    "buffer_arg",
+    "cpu_subkernel_variant",
+    "gpu_fluidic_variant",
+    "plain_variant",
+    "relative_error",
+    "scalar_arg",
+]

@@ -1,0 +1,45 @@
+"""Numeric validation helpers used by tests, examples and the harness."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["relative_error", "assert_allclose", "assert_results_match"]
+
+
+def relative_error(actual: np.ndarray, expected: np.ndarray) -> float:
+    """Normalized max error: ``max|a - e| / max(|e|)``.
+
+    Normalizing by the reference's magnitude (rather than elementwise)
+    keeps the metric meaningful when individual elements straddle zero,
+    which random dense linear algebra constantly produces.
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if actual.shape != expected.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {expected.shape}")
+    scale = max(float(np.max(np.abs(expected))), 1e-12)
+    return float(np.max(np.abs(actual - expected))) / scale
+
+
+def assert_allclose(actual: np.ndarray, expected: np.ndarray,
+                    rtol: float = 1e-5, label: str = "result") -> None:
+    """Raise ``AssertionError`` with a helpful message if results diverge."""
+    err = relative_error(actual, expected)
+    if err > rtol:
+        raise AssertionError(
+            f"{label}: max relative error {err:.3e} exceeds tolerance {rtol:.1e}"
+        )
+
+
+def assert_results_match(actual: Mapping[str, np.ndarray],
+                         expected: Mapping[str, np.ndarray],
+                         rtol: float = 1e-5) -> None:
+    """Validate a dict of named output arrays against a reference dict."""
+    missing = set(expected) - set(actual)
+    if missing:
+        raise AssertionError(f"missing outputs: {sorted(missing)}")
+    for name in expected:
+        assert_allclose(actual[name], expected[name], rtol=rtol, label=name)

@@ -1,0 +1,72 @@
+"""OpenCL-C-style function API over any :class:`AbstractRuntime`.
+
+The paper's applications are ported with "a simple find-and-replace
+script": every ``clFoo(...)`` call becomes the corresponding FluidiCL
+function "with no change in arguments" (§5).  This module provides that
+surface for host programs written in the C style:
+
+    from repro.ocl.api import *
+
+    buf_a = cl_create_buffer(rt, "A", (n, n), np.float32)
+    cl_enqueue_write_buffer(rt, buf_a, host_a)
+    cl_enqueue_nd_range_kernel(rt, kernel, nd, {"A": buf_a, ...})
+    cl_enqueue_read_buffer(rt, buf_a, host_out)
+    cl_finish(rt)
+
+Because every backend implements ``AbstractRuntime``, "replacing the
+runtime" really is a one-word change, which is the point being reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.ocl.enums import MemFlag
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import AbstractRuntime, KernelVersions
+
+__all__ = [
+    "cl_create_buffer",
+    "cl_enqueue_write_buffer",
+    "cl_enqueue_nd_range_kernel",
+    "cl_enqueue_read_buffer",
+    "cl_finish",
+    "cl_release",
+]
+
+
+def cl_create_buffer(runtime: AbstractRuntime, name: str, shape, dtype,
+                     flags: MemFlag = MemFlag.READ_WRITE) -> Any:
+    """``clCreateBuffer``."""
+    return runtime.create_buffer(name, shape, np.dtype(dtype), flags)
+
+
+def cl_enqueue_write_buffer(runtime: AbstractRuntime, handle: Any,
+                            host_array: np.ndarray) -> None:
+    """``clEnqueueWriteBuffer``."""
+    runtime.enqueue_write_buffer(handle, host_array)
+
+
+def cl_enqueue_nd_range_kernel(runtime: AbstractRuntime,
+                               kernel: KernelVersions, ndrange: NDRange,
+                               args: Mapping[str, Any]) -> None:
+    """``clEnqueueNDRangeKernel``."""
+    runtime.enqueue_nd_range_kernel(kernel, ndrange, args)
+
+
+def cl_enqueue_read_buffer(runtime: AbstractRuntime, handle: Any,
+                           host_array: np.ndarray) -> None:
+    """``clEnqueueReadBuffer``."""
+    runtime.enqueue_read_buffer(handle, host_array)
+
+
+def cl_finish(runtime: AbstractRuntime) -> None:
+    """``clFinish``."""
+    runtime.finish()
+
+
+def cl_release(runtime: AbstractRuntime) -> None:
+    """``clReleaseContext``-style teardown."""
+    runtime.release()

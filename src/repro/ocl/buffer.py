@@ -1,0 +1,91 @@
+"""Device buffers living in discrete per-device address spaces."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ocl.enums import MemFlag
+
+__all__ = ["Buffer"]
+
+_buffer_ids = itertools.count(1)
+
+
+class Buffer:
+    """A ``cl_mem`` object: bytes resident on exactly one device.
+
+    Content is a private NumPy array — other devices (and the host) cannot
+    see it without an explicit transfer command, which is what makes the
+    coherence work of the runtimes above observable and testable.
+
+    The element dtype/shape is kept as metadata; the paper stores the base
+    type of each buffer "as a metadata at the beginning of each buffer" to
+    pick the diff/merge granularity (section 4.3).
+    """
+
+    __slots__ = ("id", "name", "device", "shape", "dtype", "flags",
+                 "_array", "_mem_handle", "released")
+
+    def __init__(self, device, shape: Tuple[int, ...], dtype,
+                 flags: MemFlag = MemFlag.READ_WRITE, name: str = ""):
+        self.id = next(_buffer_ids)
+        self.device = device
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.flags = flags
+        self.name = name or f"buf{self.id}"
+        self._array = np.zeros(self.shape, dtype=self.dtype)
+        self._mem_handle = device.memory.allocate(self.nbytes)
+        self.released = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    @property
+    def array(self) -> np.ndarray:
+        """The device-resident contents.  Only device-side code (kernel
+        bodies, transfer commands) should touch this directly."""
+        if self.released:
+            raise RuntimeError(f"use after release of {self.name!r}")
+        return self._array
+
+    def write_from(self, host_array: np.ndarray,
+                   region: Optional[slice] = None) -> None:
+        """Device-side effect of a completed host-to-device transfer."""
+        src = np.asarray(host_array, dtype=self.dtype).reshape(self.shape)
+        if region is None:
+            np.copyto(self._array, src)
+        else:
+            self._array.reshape(-1)[region] = src.reshape(-1)[region]
+
+    def read_into(self, host_array: np.ndarray) -> None:
+        """Device-side effect of a completed device-to-host transfer."""
+        np.copyto(host_array.reshape(self.shape), self._array)
+
+    def copy_from(self, other: "Buffer") -> None:
+        """Device-local clone of another buffer's contents (same device)."""
+        if other.device is not self.device:
+            raise ValueError(
+                "copy_from requires same-device buffers; use a transfer command"
+            )
+        np.copyto(self._array.reshape(-1), other._array.reshape(-1))
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the current contents (used by tests and the merge step)."""
+        return self._array.copy()
+
+    def release(self) -> None:
+        """Free the device allocation (``clReleaseMemObject``)."""
+        if not self.released:
+            self.device.memory.release(self._mem_handle)
+            self.released = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Buffer {self.name} {self.shape}:{self.dtype} on "
+            f"{self.device.spec.name}>"
+        )

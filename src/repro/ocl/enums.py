@@ -1,0 +1,44 @@
+"""Enumerations mirroring the relevant OpenCL constants."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MemFlag", "CommandType", "CommandStatus"]
+
+
+class MemFlag(enum.Flag):
+    """Subset of ``cl_mem_flags`` relevant to buffer creation."""
+
+    READ_WRITE = enum.auto()
+    READ_ONLY = enum.auto()
+    WRITE_ONLY = enum.auto()
+
+    @property
+    def kernel_may_write(self) -> bool:
+        return bool(self & (MemFlag.READ_WRITE | MemFlag.WRITE_ONLY))
+
+
+class CommandType(str, enum.Enum):
+    """What a queued command does (cf. ``cl_command_type``)."""
+
+    WRITE_BUFFER = "write_buffer"
+    READ_BUFFER = "read_buffer"
+    COPY_BUFFER = "copy_buffer"
+    ND_RANGE_KERNEL = "ndrange_kernel"
+    MARKER = "marker"
+    CALLBACK = "callback"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CommandStatus(str, enum.Enum):
+    """Lifecycle of a queued command (cf. ``cl_event`` execution status)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

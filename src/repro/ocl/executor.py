@@ -1,0 +1,245 @@
+"""Device-side kernel execution: waves, subkernel windows, abort protocol.
+
+Work-groups run in *waves* of up to ``concurrent_workgroups``.  A GPU-side
+FluidiCL kernel additionally consults a :class:`StatusBoard` — the simulated
+analogue of the CPU-execution-status variable the paper's modified kernels
+poll (Fig. 8) — and skips work-groups the CPU has already finished *and*
+whose data has already landed on the GPU.
+
+With abort checks inside loops (§6.4) a *running* wave also reacts to
+status updates: the reaction is event-driven (the executor sleeps until
+either the wave ends or a status message arrives) and the abort instant is
+quantized up to the next loop-iteration boundary, so the modeled granularity
+is exactly the transformed kernel's check granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.ocl.kernel import Kernel
+from repro.ocl.ndrange import NDRange
+from repro.sim.sync import Gate
+
+__all__ = ["StatusBoard", "LaunchConfig", "KernelRunResult", "run_kernel"]
+
+
+class StatusBoard:
+    """CPU completion status as visible *on the GPU*.
+
+    ``frontier`` is the lowest flattened work-group ID F such that every
+    work-group with ID >= F has been executed on the CPU **and** its
+    computed data has arrived at the GPU (status strictly follows data on
+    the in-order ``hd`` queue, paper §4.2).  It starts at ``total_groups``
+    (nothing complete) and only ever decreases.
+    """
+
+    def __init__(self, engine, total_groups: int, kernel_id: int = 0):
+        self.engine = engine
+        self.total_groups = total_groups
+        self.kernel_id = kernel_id
+        self.frontier = total_groups
+        #: set when the kernel is finalized; late messages are discarded
+        #: (paper §5.3, stale-data protection)
+        self.finalized = False
+        self.updates: List[Tuple[float, int]] = []
+        #: fired on every accepted update; the executor waits on this
+        self.gate = Gate(engine, name=f"status:k{kernel_id}")
+
+    def update(self, now: float, frontier: int) -> bool:
+        """Record an arriving status message; returns False if discarded."""
+        if self.finalized:
+            return False
+        if not 0 <= frontier <= self.total_groups:
+            raise ValueError(
+                f"frontier {frontier} outside [0, {self.total_groups}]"
+            )
+        if frontier > self.frontier:
+            # Out-of-date message; in-order queues make this unreachable in
+            # practice, but guard anyway.
+            return False
+        self.frontier = frontier
+        self.updates.append((now, frontier))
+        self.gate.fire(frontier)
+        return True
+
+    def finalize(self) -> None:
+        self.finalized = True
+
+    def covered(self, fid: int) -> bool:
+        """Has this work-group been completed (with data) by the CPU?"""
+        return fid >= self.frontier
+
+    @property
+    def cpu_completed_groups(self) -> int:
+        return self.total_groups - self.frontier
+
+
+@dataclass
+class LaunchConfig:
+    """Runtime parameters of one (sub)kernel launch."""
+
+    #: flattened work-group window to execute: [fid_start, fid_end)
+    fid_start: int = 0
+    fid_end: Optional[int] = None
+    #: CPU status the (GPU) kernel polls; None for plain launches
+    status_board: Optional[StatusBoard] = None
+    #: FluidiCL kernel id (versioning / tracing)
+    kernel_id: int = 0
+    #: allow §6.3 work-group splitting for small CPU allocations
+    wg_split_allowed: bool = False
+
+    def window(self, ndrange: NDRange) -> Tuple[int, int]:
+        end = self.fid_end if self.fid_end is not None else ndrange.total_groups
+        if not 0 <= self.fid_start <= end <= ndrange.total_groups:
+            raise ValueError(
+                f"launch window [{self.fid_start}, {end}) outside NDRange "
+                f"with {ndrange.total_groups} groups"
+            )
+        return self.fid_start, end
+
+
+@dataclass
+class KernelRunResult:
+    """What one launch actually did on its device."""
+
+    #: fid ranges whose bodies this device executed
+    executed: List[Tuple[int, int]] = field(default_factory=list)
+    #: work-groups skipped or aborted because the CPU beat the device to them
+    aborted_groups: int = 0
+    #: True when the launch ended early because the two fronts met
+    ended_early: bool = False
+    start_time: float = 0.0
+    end_time: float = 0.0
+    split_used: bool = False
+    waves: int = 0
+
+    @property
+    def executed_groups(self) -> int:
+        return sum(hi - lo for lo, hi in self.executed)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+def run_kernel(
+    device,
+    kernel: Kernel,
+    ndrange: NDRange,
+    launch: LaunchConfig,
+) -> Generator:
+    """Simulate one launch on ``device``; returns a :class:`KernelRunResult`.
+
+    Must be driven inside a simulation process that has already acquired the
+    device's compute engine (the command queue does this).
+    """
+    engine = device.engine
+    spec = device.spec
+    start, end = launch.window(ndrange)
+    variant = kernel.variant
+    board = launch.status_board if variant.abort_checks else None
+    t_wg = kernel.wg_seconds(spec)
+    result = KernelRunResult(start_time=engine.now)
+
+    n_groups = end - start
+    if n_groups == 0:
+        result.end_time = engine.now
+        return result
+
+    # -- CPU work-group splitting (paper §6.3) -------------------------------
+    if (
+        launch.wg_split_allowed
+        and variant.wg_split
+        and board is None
+        and n_groups < spec.compute_units
+    ):
+        duration = (
+            spec.wave_overhead
+            + n_groups * t_wg / (spec.compute_units * spec.wg_split_efficiency)
+        )
+        yield engine.timeout(duration)
+        result.executed.append((start, end))
+        result.split_used = True
+        result.waves = 1
+        _finish(device, kernel, ndrange, result, engine.now)
+        return result
+
+    # -- wave execution -----------------------------------------------------
+    i = start
+    while i < end:
+        frontier = board.frontier if board is not None else end
+        if frontier <= i:
+            # Every remaining work-group is already CPU-complete: the
+            # kernel is done (Fig. 6, "kernel completed").
+            result.aborted_groups += end - i
+            result.ended_early = True
+            break
+        j = min(i + spec.concurrent_workgroups, min(end, frontier))
+        i_next = min(i + spec.concurrent_workgroups, end)
+        # Work-groups covered by the CPU are skipped by the start-of-group
+        # check; they cost (essentially) nothing.
+        result.aborted_groups += i_next - j
+
+        result.waves += 1
+        if board is not None and variant.abort_in_loops:
+            commit_hi, whole_wave_aborted = yield from _monitored_wave(
+                engine, spec, board, t_wg, variant.abort_granularity, i, j
+            )
+            if commit_hi > i:
+                result.executed.append((i, commit_hi))
+            result.aborted_groups += j - commit_hi
+            if whole_wave_aborted:
+                result.aborted_groups += end - i_next
+                result.ended_early = True
+                break
+        else:
+            yield engine.timeout(spec.wave_overhead + t_wg)
+            result.executed.append((i, j))
+        i = i_next
+
+    _finish(device, kernel, ndrange, result, engine.now)
+    return result
+
+
+def _monitored_wave(engine, spec, board, t_wg, granularity, i, j):
+    """One wave whose work-groups re-check the CPU status inside loops.
+
+    Sleeps until the wave completes or a status update lands, whichever is
+    first.  Returns ``(commit_hi, whole_wave_aborted)``: bodies run for
+    ``[i, commit_hi)``; if the CPU overtook the whole wave, the abort takes
+    effect at the next loop-iteration boundary and the wave (plus everything
+    after it) is abandoned.
+    """
+    yield engine.timeout(spec.wave_overhead)
+    check_interval = t_wg / max(1, granularity)
+    wave_start = engine.now
+    wave_end = wave_start + t_wg
+    commit_hi = j
+    while True:
+        frontier = board.frontier
+        if frontier <= i:
+            elapsed = engine.now - wave_start
+            quantized = math.ceil(elapsed / check_interval - 1e-12) * check_interval
+            quantized = min(max(quantized, elapsed), t_wg)
+            if quantized > elapsed:
+                yield engine.timeout(quantized - elapsed)
+            return i, True
+        if frontier < commit_hi:
+            commit_hi = frontier
+        remaining = wave_end - engine.now
+        if remaining <= 1e-15:
+            return commit_hi, False
+        yield engine.any_of([engine.timeout(remaining), board.gate.wait()])
+
+
+def _finish(device, kernel: Kernel, ndrange: NDRange, result: KernelRunResult,
+            now: float) -> None:
+    for lo, hi in result.executed:
+        for fid in range(lo, hi):
+            kernel.run_workgroup(ndrange, fid)
+    device.stats["workgroups_executed"] += result.executed_groups
+    device.stats["workgroups_aborted"] += result.aborted_groups
+    result.end_time = now

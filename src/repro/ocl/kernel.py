@@ -1,0 +1,88 @@
+"""A compiled kernel bound to its arguments (cf. ``cl_kernel``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.hw.cost import wg_time
+from repro.hw.specs import DeviceSpec
+from repro.kernels.dsl import KernelSpec, KernelVariant, WorkGroupContext
+from repro.ocl.buffer import Buffer
+from repro.ocl.ndrange import NDRange
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """A :class:`KernelVariant` plus bound arguments, ready to enqueue.
+
+    Buffer arguments must live on the device the kernel is enqueued to;
+    this is checked at enqueue time (discrete address spaces are the whole
+    point of the exercise).
+    """
+
+    def __init__(self, variant: KernelVariant, args: Mapping[str, Any]):
+        variant.spec.bind_check(args)
+        for spec in variant.spec.args:
+            value = args[spec.name]
+            if spec.is_buffer and not isinstance(value, Buffer):
+                raise TypeError(
+                    f"argument {spec.name!r} of kernel {variant.name!r} "
+                    f"must be a Buffer, got {type(value).__name__}"
+                )
+            if not spec.is_buffer and isinstance(value, Buffer):
+                raise TypeError(
+                    f"argument {spec.name!r} of kernel {variant.name!r} "
+                    f"is scalar but got a Buffer"
+                )
+        self.variant = variant
+        self.args: Dict[str, Any] = dict(args)
+
+    @property
+    def spec(self) -> KernelSpec:
+        return self.variant.spec
+
+    @property
+    def name(self) -> str:
+        return self.variant.name
+
+    @property
+    def cost(self):
+        return self.variant.cost
+
+    def buffers(self) -> Dict[str, Buffer]:
+        return {
+            a.name: self.args[a.name]
+            for a in self.spec.args
+            if a.is_buffer
+        }
+
+    def check_device(self, device) -> None:
+        for name, buf in self.buffers().items():
+            if buf.device is not device:
+                raise ValueError(
+                    f"kernel {self.name!r} argument {name!r} lives on "
+                    f"{buf.device.name}, not on {device.name}"
+                )
+
+    def wg_seconds(self, spec: DeviceSpec) -> float:
+        """Per-work-group time of this variant on a device."""
+        return wg_time(self.cost, spec, self.variant.time_multiplier)
+
+    def run_workgroup(self, ndrange: NDRange, fid: int) -> None:
+        """Execute the body for one flattened work-group ID (device side)."""
+        gid = ndrange.unflatten_group(fid)
+        resolved = {
+            name: (value.array if isinstance(value, Buffer) else value)
+            for name, value in self.args.items()
+        }
+        ctx = WorkGroupContext(
+            group_id=gid,
+            num_groups=ndrange.num_groups,
+            local_size=ndrange.local_size,
+            args=resolved,
+        )
+        self.spec.body(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel {self.name} v={self.spec.version}>"

@@ -1,0 +1,121 @@
+"""In-order command queues (``cl_command_queue``)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.ocl.commands import (
+    CallbackCommand,
+    Command,
+    CopyBufferCommand,
+    KernelCommand,
+    MarkerCommand,
+    ReadBufferCommand,
+    WriteBufferCommand,
+)
+from repro.ocl.device import Device
+from repro.ocl.events import CLEvent
+from repro.ocl.executor import LaunchConfig
+from repro.ocl.kernel import Kernel
+from repro.ocl.ndrange import NDRange
+from repro.sim.core import Event
+from repro.sim.resources import Channel
+
+__all__ = ["CommandQueue"]
+
+_queue_ids = itertools.count(1)
+
+
+class CommandQueue:
+    """An in-order queue of commands bound to one device.
+
+    Each queue is a simulation process that executes its commands strictly
+    in enqueue order; *different* queues on the same device run concurrently
+    subject to engine contention (compute / h2d DMA / d2h DMA).  FluidiCL's
+    ``hd`` and ``dh`` queues rely on this to overlap communication with
+    kernel execution (paper section 5.4).
+    """
+
+    def __init__(self, device: Device, name: str = ""):
+        self.device = device
+        self.id = next(_queue_ids)
+        self.name = name or f"queue{self.id}@{device.name}"
+        self._channel = Channel(device.engine, name=self.name)
+        self._last_event: Optional[CLEvent] = None
+        self._process = device.engine.process(self._loop(), name=f"cq:{self.name}")
+
+    # -- core ----------------------------------------------------------------
+    def enqueue(self, command: Command) -> CLEvent:
+        event = CLEvent(self.device.engine, command.command_type,
+                        info=command.describe())
+        self._channel.put((command, event))
+        self._last_event = event
+        return event
+
+    def _loop(self):
+        engine = self.device.engine
+        while True:
+            item = yield self._channel.get()
+            if item is None:  # closed
+                return
+            command, event = item
+            event.mark_started(engine.now)
+            engine.trace(
+                "cmd_start",
+                queue=self.name,
+                type=str(command.command_type),
+                **command.describe(),
+            )
+            result = yield from command.run(self)
+            event.mark_finished(engine.now, result)
+            engine.trace(
+                "cmd_end",
+                queue=self.name,
+                type=str(command.command_type),
+                **command.describe(),
+            )
+
+    # -- convenience wrappers (the familiar clEnqueue* calls) ----------------
+    def enqueue_write_buffer(self, buffer, source,
+                             nbytes: Optional[int] = None) -> CLEvent:
+        return self.enqueue(WriteBufferCommand(buffer, source, nbytes))
+
+    def enqueue_read_buffer(self, buffer, dest: np.ndarray) -> CLEvent:
+        return self.enqueue(ReadBufferCommand(buffer, dest))
+
+    def enqueue_copy_buffer(self, src, dst) -> CLEvent:
+        return self.enqueue(CopyBufferCommand(src, dst))
+
+    def enqueue_nd_range_kernel(self, kernel: Kernel, ndrange: NDRange,
+                                launch: Optional[LaunchConfig] = None) -> CLEvent:
+        return self.enqueue(KernelCommand(kernel, ndrange, launch))
+
+    def enqueue_marker(self) -> CLEvent:
+        return self.enqueue(MarkerCommand())
+
+    def enqueue_callback(self, fn, engine: Optional[str] = None,
+                         duration: float = 0.0, label: str = "") -> CLEvent:
+        return self.enqueue(CallbackCommand(fn, engine, duration, label))
+
+    # -- synchronization -------------------------------------------------------
+    def finish_event(self) -> Event:
+        """Simulation event that fires once all currently-enqueued commands
+        (and everything ordered before them) have completed."""
+        if self._last_event is None:
+            done = Event(self.device.engine, name=f"finish:{self.name}")
+            done.succeed()
+            return done
+        return self.enqueue_marker().done
+
+    @property
+    def pending(self) -> int:
+        return len(self._channel)
+
+    def close(self) -> None:
+        self._channel.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CommandQueue {self.name}>"

@@ -1,0 +1,52 @@
+"""Polybench benchmark applications (paper §8, Table 2).
+
+Each application is a *host program* written against
+:class:`repro.ocl.runtime.AbstractRuntime`, so the identical program runs on
+the vendor single-device baselines, FluidiCL, the static partitioner and
+SOCL.  Kernels carry analytic cost descriptors whose per-device efficiency
+constants encode each benchmark's device affinity (see the module docstring
+of each app and DESIGN.md for the calibration rationale).
+
+Paper suite: 2MM, BICG, CORR, GESUMMV, SYRK, SYR2K.
+Extensions (beyond the paper): ATAX, MVT, GEMM, 3MM.
+"""
+
+from repro.polybench.atax import AtaxApp
+from repro.polybench.bicg import BicgApp
+from repro.polybench.common import AppResult, PolybenchApp, KernelMeta
+from repro.polybench.corr import CorrApp
+from repro.polybench.gemm import GemmApp
+from repro.polybench.gesummv import GesummvApp
+from repro.polybench.mvt import MvtApp
+from repro.polybench.suite import (
+    EXTENDED_SUITE,
+    PAPER_SUITE,
+    make_app,
+    paper_suite,
+    suite_table,
+)
+from repro.polybench.syr2k import Syr2kApp
+from repro.polybench.syrk import SyrkApp
+from repro.polybench.threemm import ThreeMmApp
+from repro.polybench.twomm import TwoMmApp
+
+__all__ = [
+    "AppResult",
+    "AtaxApp",
+    "BicgApp",
+    "CorrApp",
+    "EXTENDED_SUITE",
+    "GemmApp",
+    "GesummvApp",
+    "KernelMeta",
+    "MvtApp",
+    "PAPER_SUITE",
+    "PolybenchApp",
+    "Syr2kApp",
+    "SyrkApp",
+    "ThreeMmApp",
+    "TwoMmApp",
+    "make_app",
+    "paper_suite",
+    "suite_table",
+]

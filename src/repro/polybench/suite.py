@@ -1,0 +1,92 @@
+"""Benchmark suite registry and Table 2 reproduction.
+
+The OCR of the paper lost the digits of Table 2, so the exact input sizes
+are documented assumptions (see DESIGN.md).  Three scales are provided:
+
+* ``paper`` — the evaluation scale used by the benchmark harness;
+* ``small`` — quarter-scale, for quick interactive runs;
+* ``test``  — tiny, for the unit/integration test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.polybench.atax import AtaxApp
+from repro.polybench.bicg import BicgApp
+from repro.polybench.common import PolybenchApp
+from repro.polybench.corr import CorrApp
+from repro.polybench.gemm import GemmApp
+from repro.polybench.gesummv import GesummvApp
+from repro.polybench.mvt import MvtApp
+from repro.polybench.syr2k import Syr2kApp
+from repro.polybench.syrk import SyrkApp
+from repro.polybench.threemm import ThreeMmApp
+from repro.polybench.twomm import TwoMmApp
+
+__all__ = [
+    "PAPER_SUITE",
+    "EXTENDED_SUITE",
+    "SCALES",
+    "make_app",
+    "paper_suite",
+    "suite_table",
+]
+
+#: per-benchmark problem size at each scale
+SCALES: Dict[str, Dict[str, int]] = {
+    "paper": {
+        "2mm": 1024, "bicg": 4096, "corr": 1536, "gesummv": 4096,
+        "syrk": 768, "syr2k": 1024,
+        "atax": 4096, "mvt": 4096, "gemm": 1024, "3mm": 768,
+    },
+    "small": {
+        "2mm": 512, "bicg": 2048, "corr": 512, "gesummv": 2048,
+        "syrk": 384, "syr2k": 512,
+        "atax": 2048, "mvt": 2048, "gemm": 512, "3mm": 384,
+    },
+    "test": {
+        "2mm": 128, "bicg": 256, "corr": 128, "gesummv": 256,
+        "syrk": 128, "syr2k": 128,
+        "atax": 256, "mvt": 256, "gemm": 128, "3mm": 128,
+    },
+}
+
+_FACTORIES: Dict[str, Callable[[int], PolybenchApp]] = {
+    "2mm": TwoMmApp,
+    "bicg": BicgApp,
+    "corr": CorrApp,
+    "gesummv": GesummvApp,
+    "syrk": SyrkApp,
+    "syr2k": Syr2kApp,
+    "atax": AtaxApp,
+    "mvt": MvtApp,
+    "gemm": GemmApp,
+    "3mm": ThreeMmApp,
+}
+
+#: the six benchmarks evaluated in the paper, in figure order
+PAPER_SUITE: Tuple[str, ...] = ("2mm", "bicg", "corr", "gesummv", "syrk", "syr2k")
+
+#: paper suite plus the extension benchmarks
+EXTENDED_SUITE: Tuple[str, ...] = PAPER_SUITE + ("atax", "mvt", "gemm", "3mm")
+
+
+def make_app(name: str, scale: str = "paper", **kwargs) -> PolybenchApp:
+    """Instantiate a benchmark by name at a given scale."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown benchmark {name!r}; have {sorted(_FACTORIES)}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; have {sorted(SCALES)}")
+    return _FACTORIES[name](SCALES[scale][name], **kwargs)
+
+
+def paper_suite(scale: str = "paper") -> List[PolybenchApp]:
+    """The paper's six benchmarks at the requested scale."""
+    return [make_app(name, scale) for name in PAPER_SUITE]
+
+
+def suite_table(scale: str = "paper", extended: bool = False) -> List[Tuple[str, str, int, str]]:
+    """Rows of Table 2: (benchmark, input size, #kernels, #work-groups)."""
+    names = EXTENDED_SUITE if extended else PAPER_SUITE
+    return [make_app(name, scale).table2_row() for name in names]

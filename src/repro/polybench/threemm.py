@@ -1,0 +1,104 @@
+"""3MM: three chained matrix multiplications (extension benchmark).
+
+``E = A*B; F = C*D; G = E*F`` — a longer kernel pipeline than 2MM, with a
+diamond dependency (G needs both E and F), stressing the buffer version
+tracker across more producer/consumer edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import AbstractRuntime
+from repro.polybench.common import DTYPE, KernelMeta, PolybenchApp
+from repro.polybench.twomm import TILE, matmul_cost
+
+__all__ = ["ThreeMmApp"]
+
+
+def _make_mm_body(left: str, right: str, out: str):
+    def body(ctx) -> None:
+        c0, c1 = ctx.item_range(0)
+        r0, r1 = ctx.item_range(1)
+        ctx[out][r0:r1, c0:c1] = ctx[left][r0:r1, :] @ ctx[right][:, c0:c1]
+
+    return body
+
+
+def mm_kernel(name: str, left: str, right: str, out: str, nk: int) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        args=(buffer_arg(left), buffer_arg(right), buffer_arg(out, Intent.OUT)),
+        body=_make_mm_body(left, right, out),
+        cost=matmul_cost(nk, gpu_compute=0.30, cpu_compute=0.80),
+    )
+
+
+class ThreeMmApp(PolybenchApp):
+    """Polybench 3MM at size ``n`` (all matrices square)."""
+
+    name = "3mm"
+
+    def __init__(self, n: int = 768, seed: int = 7):
+        super().__init__(seed)
+        if n % TILE != 0:
+            raise ValueError(f"n must be a multiple of {TILE}")
+        self.n = n
+
+    @property
+    def input_size_label(self) -> str:
+        return f"({self.n}, {self.n})"
+
+    def build_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        n = self.n
+        return {
+            name: rng.standard_normal((n, n)).astype(DTYPE)
+            for name in ("A", "B", "C", "D")
+        }
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        a64 = {k: v.astype(np.float64) for k, v in inputs.items()}
+        e = a64["A"] @ a64["B"]
+        f = a64["C"] @ a64["D"]
+        return {"G": e @ f}
+
+    def _ndrange(self) -> NDRange:
+        return NDRange((self.n, self.n), (TILE, TILE))
+
+    def kernel_metas(self) -> List[KernelMeta]:
+        nd = self._ndrange()
+        return [
+            KernelMeta("mm3_kernel1", nd),
+            KernelMeta("mm3_kernel2", nd),
+            KernelMeta("mm3_kernel3", nd),
+        ]
+
+    def host_program(self, runtime: AbstractRuntime,
+                     inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        n = self.n
+        names = ("A", "B", "C", "D", "E", "F", "G")
+        buffers = {
+            name: runtime.create_buffer(name, (n, n), DTYPE) for name in names
+        }
+        for name in ("A", "B", "C", "D"):
+            runtime.enqueue_write_buffer(buffers[name], inputs[name])
+        nd = self._ndrange()
+        runtime.enqueue_nd_range_kernel(
+            mm_kernel("mm3_kernel1", "A", "B", "E", n), nd,
+            {"A": buffers["A"], "B": buffers["B"], "E": buffers["E"]},
+        )
+        runtime.enqueue_nd_range_kernel(
+            mm_kernel("mm3_kernel2", "C", "D", "F", n), nd,
+            {"C": buffers["C"], "D": buffers["D"], "F": buffers["F"]},
+        )
+        runtime.enqueue_nd_range_kernel(
+            mm_kernel("mm3_kernel3", "E", "F", "G", n), nd,
+            {"E": buffers["E"], "F": buffers["F"], "G": buffers["G"]},
+        )
+        out = np.empty((n, n), dtype=DTYPE)
+        runtime.enqueue_read_buffer(buffers["G"], out)
+        return {"G": out}

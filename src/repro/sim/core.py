@@ -1,0 +1,376 @@
+"""Core of the discrete-event engine: clock, events and processes."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimError",
+    "SimDeadlockError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Engine",
+]
+
+
+class SimError(Exception):
+    """Base class for simulation errors."""
+
+
+class SimDeadlockError(SimError):
+    """Raised when the engine is asked to run to an event that can never fire."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, at which point the engine schedules it and, when
+    its turn comes, runs all registered callbacks (waking any process that
+    yielded on it).
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self.name = name
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given an outcome."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (waiters have been woken)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimError(f"value of {self!r} read before trigger")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful, carrying ``value``."""
+        self._trigger(value, ok=True, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiters get ``exception`` thrown into them."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(exception, ok=False, delay=delay)
+        return self
+
+    def _trigger(self, value: Any, ok: bool, delay: float = 0.0) -> None:
+        if self._triggered:
+            raise SimError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = ok
+        self.engine._schedule(self, delay)
+
+    # -- callbacks ----------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (same simulated instant).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        self._triggered = True
+        self._value = value
+        engine._schedule(self, delay)
+
+
+class Process(Event):
+    """Runs a generator; the process-as-event triggers when the generator ends.
+
+    Inside the generator, ``yield event`` suspends the process until the
+    event triggers; the yield expression evaluates to the event's value.
+    A failed event raises its exception at the yield point.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_interrupts")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list = []
+        # Kick off at the current instant.
+        bootstrap = Event(engine, name=f"init:{self.name}")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self._triggered:
+            raise SimError(f"cannot interrupt finished process {self.name!r}")
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.engine, name=f"interrupt:{self.name}")
+        wakeup.add_callback(self._deliver_interrupt)
+        wakeup.succeed()
+
+    def _deliver_interrupt(self, _event: Event) -> None:
+        if self._triggered or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        # Detach from whatever we were waiting on; the stale callback is
+        # filtered by the _waiting_on check in _resume.
+        self._step(exc, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup (e.g. we were interrupted meanwhile)
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        self.engine._active_process, previous = self, self.engine._active_process
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, ok=True)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._finish(exc, ok=False)
+            return
+        finally:
+            self.engine._active_process = previous
+        if not isinstance(target, Event):
+            self._finish(
+                SimError(f"process {self.name!r} yielded non-event {target!r}"),
+                ok=False,
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(self, value: Any, ok: bool) -> None:
+        self._generator = None
+        if ok:
+            self.succeed(value)
+        else:
+            if isinstance(value, Interrupt):
+                # An uncaught interrupt terminates the process cleanly.
+                self.succeed(None)
+            else:
+                self.fail(value)
+                if not self.callbacks and not self.engine.allow_orphan_failures:
+                    raise value
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str):
+        super().__init__(engine, name=name)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> list:
+        return [e.value for e in self._events if e.triggered and e.ok]
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event does."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, name="any_of")
+
+    def _child_done(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(event.value)
+
+
+class AllOf(_Condition):
+    """Triggers when all child events have; value is the list of child values."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, name="all_of")
+
+    def _child_done(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Engine:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self, tracer=None):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        self.tracer = tracer
+        #: if True, a process failing with no observers does not raise
+        #: immediately (useful in tests that assert on failure later).
+        self.allow_orphan_failures = False
+
+    # -- factory helpers ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> Event:
+        """Process one event, advancing the clock."""
+        if not self._heap:
+            raise SimDeadlockError("no scheduled events")
+        self.now, _seq, event = heapq.heappop(self._heap)
+        event._process()
+        return event
+
+    # -- run loops ------------------------------------------------------------
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until the clock reaches it), or an :class:`Event` (run until it
+        triggers; returns its value, raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        return self._run_until_time(float(until))
+
+    def _run_until_event(self, event: Event) -> Any:
+        while not event.processed:
+            if not self._heap:
+                raise SimDeadlockError(
+                    f"deadlock: ran out of events before {event!r} triggered"
+                )
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def _run_until_time(self, deadline: float) -> None:
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = max(self.now, deadline)
+
+    # -- tracing --------------------------------------------------------------
+    def trace(self, category: str, **payload: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.now, category, payload)

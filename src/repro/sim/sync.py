@@ -1,0 +1,68 @@
+"""Broadcast synchronization primitives built on the core engine."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.sim.core import Engine, Event
+
+__all__ = ["Gate", "Latch"]
+
+
+class Gate:
+    """A broadcast condition variable with a monotonically versioned value.
+
+    Each :meth:`fire` publishes a new value and wakes every current waiter.
+    Waiters can also ask to be woken only when the version advances beyond a
+    known point (``wait(after_version=v)``), which is how the GPU executor
+    observes CPU status updates without busy-waiting.
+    """
+
+    def __init__(self, engine: Engine, initial: Any = None, name: str = "gate"):
+        self.engine = engine
+        self.name = name
+        self.value = initial
+        self.version = 0
+        self._waiters: List[Event] = []
+
+    def fire(self, value: Any) -> None:
+        """Publish ``value`` and wake all waiters."""
+        self.value = value
+        self.version += 1
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+
+    def wait(self, after_version: int = None) -> Event:
+        """Event triggering on the next :meth:`fire`.
+
+        With ``after_version`` given, triggers immediately if the gate has
+        already advanced past that version.
+        """
+        event = Event(self.engine, name=f"wait:{self.name}")
+        if after_version is not None and self.version > after_version:
+            event.succeed(self.value)
+        else:
+            self._waiters.append(event)
+        return event
+
+
+class Latch:
+    """Counts down from ``count``; the :attr:`done` event fires at zero."""
+
+    def __init__(self, engine: Engine, count: int, name: str = "latch"):
+        if count < 0:
+            raise ValueError("latch count must be >= 0")
+        self.engine = engine
+        self.name = name
+        self.remaining = count
+        self.done = Event(engine, name=f"done:{name}")
+        if count == 0:
+            self.done.succeed()
+
+    def count_down(self, n: int = 1) -> None:
+        if self.remaining <= 0:
+            return
+        self.remaining -= n
+        if self.remaining <= 0:
+            self.done.succeed()

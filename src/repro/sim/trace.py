@@ -1,0 +1,71 @@
+"""Lightweight tracing of simulation activity.
+
+A :class:`Tracer` collects timestamped records emitted by the engine and the
+runtime layers (kernel launches, transfers, subkernels, merges).  It is used
+by tests to assert on *behaviour* (e.g. "transfers overlapped with compute")
+and by the harness to explain schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence at simulated ``time``."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` objects in chronological order."""
+
+    def __init__(self):
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str, payload: Dict[str, Any]) -> None:
+        self.records.append(TraceRecord(time, category, dict(payload)))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def categories(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.category, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def spans(self, start_category: str, end_category: str, key: str):
+        """Pair start/end records sharing ``payload[key]`` into (start, end).
+
+        Useful for reconstructing intervals such as kernel executions from
+        begin/end trace records.
+        """
+        open_spans: Dict[Any, TraceRecord] = {}
+        paired = []
+        for record in self.records:
+            if key not in record.payload:
+                continue
+            if record.category == start_category:
+                open_spans[record[key]] = record
+            elif record.category == end_category and record[key] in open_spans:
+                paired.append((open_spans.pop(record[key]), record))
+        return paired

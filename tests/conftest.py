@@ -1,0 +1,130 @@
+"""Shared fixtures: simulation engines, machines and toy kernels.
+
+The toy kernels used throughout the suite are small vector/matrix kernels
+whose per-device efficiency can be dialed to force each FluidiCL regime:
+GPU-dominant (the CPU never contributes), CPU-dominant (the CPU computes
+the whole NDRange first) and balanced (both devices contribute and the
+merge path runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.cost import WorkGroupCost
+from repro.hw.machine import build_machine
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg, scalar_arg
+from repro.ocl.ndrange import NDRange
+from repro.sim.core import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def machine():
+    return build_machine()
+
+
+@pytest.fixture
+def traced_machine():
+    return build_machine(trace=True)
+
+
+def make_scale_kernel(n, local_size=16, gpu_eff=0.5, cpu_eff=0.5,
+                      loop_iters=32, name="scale", work_scale=1.0):
+    """``y = alpha * x`` over ``n`` elements, one row-block per work-group.
+
+    ``work_scale`` inflates the modeled per-work-group cost (as if each
+    element required that much more streaming) so tests can make kernels
+    long enough for cooperative execution to kick in despite the CPU
+    runtime's launch overhead.
+    """
+
+    def body(ctx):
+        rows = ctx.rows()
+        ctx["y"][rows] = ctx["alpha"] * ctx["x"][rows]
+
+    itemsize = 4
+    cost = WorkGroupCost(
+        flops=float(local_size) * work_scale,
+        bytes_read=float(local_size * itemsize * 64) * work_scale,
+        bytes_written=float(local_size * itemsize * 64) * work_scale,
+        loop_iters=loop_iters,
+        compute_efficiency={"cpu": cpu_eff, "gpu": gpu_eff},
+        memory_efficiency={"cpu": cpu_eff, "gpu": gpu_eff},
+    )
+    return KernelSpec(
+        name=name,
+        args=(buffer_arg("x"), buffer_arg("y", Intent.OUT), scalar_arg("alpha")),
+        body=body,
+        cost=cost,
+    )
+
+
+def make_accumulate_kernel(n, local_size=16, gpu_eff=0.5, cpu_eff=0.5,
+                           name="accumulate"):
+    """``y += x`` (inout): exercises the read-modify-write merge path."""
+
+    def body(ctx):
+        rows = ctx.rows()
+        ctx["y"][rows] = ctx["y"][rows] + ctx["x"][rows]
+
+    cost = WorkGroupCost(
+        flops=float(local_size),
+        bytes_read=float(local_size * 8 * 64),
+        bytes_written=float(local_size * 4 * 64),
+        loop_iters=16,
+        compute_efficiency={"cpu": cpu_eff, "gpu": gpu_eff},
+        memory_efficiency={"cpu": cpu_eff, "gpu": gpu_eff},
+    )
+    return KernelSpec(
+        name=name,
+        args=(buffer_arg("x"), buffer_arg("y", Intent.INOUT)),
+        body=body,
+        cost=cost,
+    )
+
+
+@pytest.fixture
+def scale_kernel():
+    return make_scale_kernel
+
+
+@pytest.fixture
+def accumulate_kernel():
+    return make_accumulate_kernel
+
+
+def ndrange_1d(n, local_size=16):
+    return NDRange(n, local_size)
+
+
+def run_fluidicl_scale(n=256, local_size=16, gpu_eff=0.5, cpu_eff=0.5,
+                       config=None, seed=3, work_scale=32.0):
+    """Run the scale kernel under FluidiCL; returns (runtime, y, expected).
+
+    The default ``work_scale`` makes the kernel long enough (hundreds of
+    microseconds) that CPU subkernels can genuinely contribute.
+    """
+    from repro.core.runtime import FluidiCLRuntime
+
+    machine = build_machine()
+    runtime = FluidiCLRuntime(machine, config=config)
+    spec = make_scale_kernel(n, local_size, gpu_eff, cpu_eff,
+                             work_scale=work_scale)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n).astype(np.float32)
+    buf_x = runtime.create_buffer("x", (n,), np.float32)
+    buf_y = runtime.create_buffer("y", (n,), np.float32)
+    runtime.enqueue_write_buffer(buf_x, x)
+    runtime.enqueue_nd_range_kernel(
+        spec, NDRange(n, local_size), {"x": buf_x, "y": buf_y, "alpha": 2.5}
+    )
+    y = np.zeros(n, dtype=np.float32)
+    runtime.enqueue_read_buffer(buf_y, y)
+    runtime.finish()
+    return runtime, y, (2.5 * x)

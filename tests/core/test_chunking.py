@@ -1,0 +1,91 @@
+"""Unit tests for the adaptive chunk heuristic (paper section 5.1)."""
+
+import pytest
+
+from repro.core.chunking import AdaptiveChunker
+
+
+def make(total=1000, cu=8, initial=0.10, step=0.10):
+    return AdaptiveChunker(total, cu, initial_fraction=initial,
+                           step_fraction=step)
+
+
+class TestInitialChunk:
+    def test_initial_fraction(self):
+        chunker = make()
+        # 10% of 1000, rounded up to a multiple of 8 compute units
+        assert chunker.next_chunk(1000) == 104
+
+    def test_minimum_is_compute_units(self):
+        chunker = make(total=100, initial=0.01)
+        assert chunker.next_chunk(100) >= 8
+
+    def test_rounded_to_cu_multiple(self):
+        chunker = make(total=1000, cu=8, initial=0.10)
+        assert chunker.next_chunk(1000) % 8 == 0
+
+    def test_clamped_to_remaining(self):
+        chunker = make()
+        assert chunker.next_chunk(5) == 5
+
+    def test_no_work_rejected(self):
+        with pytest.raises(ValueError):
+            make().next_chunk(0)
+
+
+class TestAdaptiveGrowth:
+    def test_grows_while_average_improves(self):
+        chunker = make(total=1000, initial=0.10, step=0.10)
+        first = chunker.next_chunk(1000)
+        chunker.observe(first, first * 1.0)
+        second = chunker.next_chunk(1000)
+        assert second > first
+        # Better average again: keep growing.
+        chunker.observe(second, second * 0.5)
+        assert chunker.next_chunk(1000) > second
+
+    def test_stops_growing_when_average_flattens(self):
+        chunker = make(total=1000)
+        first = chunker.next_chunk(1000)
+        chunker.observe(first, first * 1.0)
+        second = chunker.next_chunk(1000)
+        chunker.observe(second, second * 0.99)  # < 2% improvement
+        assert not chunker.still_growing
+        assert chunker.next_chunk(1000) == second
+
+    def test_never_exceeds_total(self):
+        chunker = make(total=100, initial=0.5, step=0.9)
+        chunk = chunker.next_chunk(100)
+        chunker.observe(chunk, chunk * 1.0)
+        chunker.observe(chunker.next_chunk(100), 1.0)
+        assert chunker.next_chunk(100) <= 100
+
+    def test_zero_step_never_grows(self):
+        chunker = make(step=0.0)
+        first = chunker.next_chunk(1000)
+        chunker.observe(first, 0.001)
+        chunker.observe(first, 0.0001)
+        assert chunker.next_chunk(1000) == first
+
+    def test_history_recorded(self):
+        chunker = make()
+        chunk = chunker.next_chunk(1000)
+        chunker.observe(chunk, 1.0)
+        assert chunker.history == [(chunk, 1.0 / chunk)]
+
+
+class TestValidation:
+    def test_bad_total(self):
+        with pytest.raises(ValueError):
+            AdaptiveChunker(0, 8)
+
+    def test_bad_cu(self):
+        with pytest.raises(ValueError):
+            AdaptiveChunker(100, 0)
+
+    def test_bad_observation(self):
+        chunker = make()
+        with pytest.raises(ValueError):
+            chunker.observe(0, 1.0)
+        with pytest.raises(ValueError):
+            chunker.observe(1, -1.0)

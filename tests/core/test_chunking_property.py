@@ -1,0 +1,57 @@
+"""Property-based tests for the adaptive chunker."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.chunking import AdaptiveChunker
+
+
+@given(
+    total=st.integers(1, 5000),
+    cu=st.integers(1, 64),
+    initial=st.floats(0.01, 1.0),
+    step=st.floats(0.0, 1.0),
+    speeds=st.lists(st.floats(1e-6, 1e-2), min_size=0, max_size=20),
+)
+def test_chunker_always_terminates_and_covers(total, cu, initial, step, speeds):
+    """Driving the chunker like the scheduler does always covers the whole
+    NDRange in finitely many valid chunks."""
+    chunker = AdaptiveChunker(total, cu, initial_fraction=initial,
+                              step_fraction=step)
+    remaining = total
+    iterations = 0
+    speed_iter = iter(speeds)
+    while remaining > 0:
+        chunk = chunker.next_chunk(remaining)
+        assert 1 <= chunk <= remaining
+        # The allocation fills dispatch waves unless work ran out.
+        assert chunk % cu == 0 or chunk == remaining
+        per_wg = next(speed_iter, 1e-4)
+        chunker.observe(chunk, chunk * per_wg)
+        remaining -= chunk
+        iterations += 1
+        assert iterations <= total, "chunker failed to make progress"
+    assert remaining == 0
+
+
+@given(
+    total=st.integers(10, 2000),
+    cu=st.integers(1, 16),
+)
+def test_chunk_never_shrinks_while_growing(total, cu):
+    """Monotone growth: under strictly improving averages the chunk size
+    is non-decreasing until saturation."""
+    chunker = AdaptiveChunker(total, cu)
+    previous = 0
+    average = 1.0
+    for _ in range(10):
+        chunk = chunker.next_chunk(total)
+        assert chunk >= min(previous, total)
+        previous = chunk
+        average *= 0.5  # strictly improving
+        chunker.observe(chunk, chunk * average)
+
+
+@given(total=st.integers(1, 100), cu=st.integers(1, 8))
+def test_first_chunk_at_least_compute_units(total, cu):
+    chunker = AdaptiveChunker(total, cu, initial_fraction=0.01)
+    assert chunker.next_chunk(total) >= min(cu, total)

@@ -1,0 +1,81 @@
+"""Property-based test: FluidiCL is transparent for arbitrary kernel chains.
+
+Random programs — chains of scale/accumulate kernels with random device
+affinities over a small set of buffers — must produce bit-identical results
+to a NumPy oracle, regardless of which regime (GPU-dominant, CPU-complete,
+cooperative merge) each kernel lands in.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runtime import FluidiCLRuntime
+from repro.hw.machine import build_machine
+from repro.ocl.ndrange import NDRange
+
+from tests.conftest import make_accumulate_kernel, make_scale_kernel
+
+N = 512
+LOCAL = 16
+
+# Each step: (kind, src_buffer, dst_buffer, gpu_eff, cpu_eff)
+_step = st.tuples(
+    st.sampled_from(["scale", "accumulate"]),
+    st.integers(0, 2),
+    st.integers(0, 2),
+    st.sampled_from([0.01, 0.2, 0.6, 0.9]),
+    st.sampled_from([0.01, 0.2, 0.6, 0.9]),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(steps=st.lists(_step, min_size=1, max_size=5),
+       seed=st.integers(0, 1000))
+def test_random_kernel_chain_matches_numpy(steps, seed):
+    rng = np.random.default_rng(seed)
+    initial = [rng.standard_normal(N).astype(np.float32) for _ in range(3)]
+
+    # NumPy oracle.
+    oracle = [array.copy() for array in initial]
+    for kind, src, dst, _g, _c in steps:
+        if src == dst:
+            continue
+        if kind == "scale":
+            oracle[dst] = (np.float32(2.0) * oracle[src]).astype(np.float32)
+        else:
+            oracle[dst] = (oracle[dst] + oracle[src]).astype(np.float32)
+
+    # FluidiCL execution.
+    machine = build_machine()
+    runtime = FluidiCLRuntime(machine)
+    buffers = []
+    for i, array in enumerate(initial):
+        buf = runtime.create_buffer(f"b{i}", (N,), np.float32)
+        runtime.enqueue_write_buffer(buf, array)
+        buffers.append(buf)
+    for index, (kind, src, dst, gpu_eff, cpu_eff) in enumerate(steps):
+        if src == dst:
+            continue
+        if kind == "scale":
+            spec = make_scale_kernel(
+                N, LOCAL, gpu_eff=gpu_eff, cpu_eff=cpu_eff,
+                name=f"scale{index}", work_scale=16.0,
+            )
+            args = {"x": buffers[src], "y": buffers[dst], "alpha": 2.0}
+        else:
+            spec = make_accumulate_kernel(
+                N, LOCAL, gpu_eff=gpu_eff, cpu_eff=cpu_eff,
+                name=f"acc{index}",
+            )
+            args = {"x": buffers[src], "y": buffers[dst]}
+        runtime.enqueue_nd_range_kernel(spec, NDRange(N, LOCAL), args)
+
+    outputs = [np.zeros(N, dtype=np.float32) for _ in range(3)]
+    for buf, out in zip(buffers, outputs):
+        runtime.enqueue_read_buffer(buf, out)
+    runtime.finish()
+
+    for i, (actual, expected) in enumerate(zip(outputs, oracle)):
+        np.testing.assert_array_equal(
+            actual, expected, err_msg=f"buffer b{i} diverged"
+        )

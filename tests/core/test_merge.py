@@ -1,0 +1,121 @@
+"""Unit and property tests for the diff+merge step (paper section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merge import (
+    MERGE_LOCAL_SIZE,
+    build_merge_kernel,
+    merge_ndrange,
+    reference_merge,
+)
+from repro.kernels.dsl import WorkGroupContext
+from repro.kernels.transforms import plain_variant
+from repro.ocl.kernel import Kernel
+from repro.ocl.platform import Platform
+
+
+def run_merge_kernel(machine, gpu_data, cpu_data, orig):
+    """Execute the merge kernel through the real device path."""
+    platform = Platform(machine)
+    gpu = platform.gpu
+    queue = platform.create_context().create_queue(gpu)
+    n = gpu_data.size
+    gpu_buf = gpu.create_buffer(gpu_data.shape, gpu_data.dtype)
+    cpu_buf = gpu.create_buffer(gpu_data.shape, gpu_data.dtype)
+    orig_buf = gpu.create_buffer(gpu_data.shape, gpu_data.dtype)
+    gpu_buf.write_from(gpu_data)
+    cpu_buf.write_from(cpu_data)
+    orig_buf.write_from(orig)
+    spec = build_merge_kernel(gpu_buf.nbytes, gpu_data.dtype.itemsize)
+    kernel = Kernel(
+        plain_variant(spec),
+        {"cpu_buf": cpu_buf, "orig": orig_buf, "gpu_buf": gpu_buf,
+         "number_elems": n},
+    )
+    event = queue.enqueue_nd_range_kernel(kernel, merge_ndrange(n))
+    machine.run_until(event.done)
+    return gpu_buf.snapshot()
+
+
+class TestMergeSemantics:
+    def test_cpu_changes_win(self, machine):
+        orig = np.zeros(8, dtype=np.float32)
+        gpu_data = np.array([1, 1, 1, 1, 0, 0, 0, 0], dtype=np.float32)
+        cpu_data = np.array([0, 0, 0, 0, 2, 2, 2, 2], dtype=np.float32)
+        merged = run_merge_kernel(machine, gpu_data, cpu_data, orig)
+        assert np.array_equal(
+            merged, np.array([1, 1, 1, 1, 2, 2, 2, 2], dtype=np.float32)
+        )
+
+    def test_unchanged_cpu_regions_leave_gpu_data(self, machine):
+        orig = np.arange(8, dtype=np.float32)
+        gpu_data = orig * 10
+        cpu_data = orig.copy()  # CPU computed nothing
+        merged = run_merge_kernel(machine, gpu_data, cpu_data, orig)
+        assert np.array_equal(merged, gpu_data)
+
+    def test_overlap_with_identical_values_is_harmless(self, machine):
+        orig = np.zeros(4, dtype=np.float32)
+        both = np.array([5, 5, 5, 5], dtype=np.float32)
+        merged = run_merge_kernel(machine, both, both, orig)
+        assert np.array_equal(merged, both)
+
+    def test_2d_buffers(self, machine):
+        orig = np.zeros((4, 4), dtype=np.float32)
+        gpu_data = orig.copy()
+        gpu_data[:2] = 1
+        cpu_data = orig.copy()
+        cpu_data[2:] = 2
+        merged = run_merge_kernel(machine, gpu_data, cpu_data, orig)
+        assert np.all(merged[:2] == 1)
+        assert np.all(merged[2:] == 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        split=st.integers(0, 64),
+    )
+    def test_matches_reference_property(self, seed, split):
+        """Partition at ``split``: GPU computed the bottom, CPU the top."""
+        rng = np.random.default_rng(seed)
+        orig = rng.standard_normal(64).astype(np.float32)
+        result = rng.standard_normal(64).astype(np.float32)
+        gpu_data = orig.copy()
+        gpu_data[:split] = result[:split]
+        cpu_data = orig.copy()
+        cpu_data[split:] = result[split:]
+        merged = reference_merge(gpu_data, cpu_data, orig)
+        assert np.array_equal(merged, result)
+
+
+class TestMergeNdrange:
+    def test_covers_all_elements(self):
+        nd = merge_ndrange(MERGE_LOCAL_SIZE * 3 + 1)
+        assert nd.total_items >= MERGE_LOCAL_SIZE * 3 + 1
+        assert nd.total_groups == 4
+
+    def test_minimum_one_group(self):
+        assert merge_ndrange(1).total_groups == 1
+
+    def test_bounds_check_in_body(self, machine):
+        # 5000 elements with 4096-wide groups: the tail group must not
+        # touch out-of-range indices.
+        orig = np.zeros(5000, dtype=np.float32)
+        cpu_data = np.ones(5000, dtype=np.float32)
+        merged = run_merge_kernel(machine, orig.copy(), cpu_data, orig)
+        assert np.all(merged == 1)
+
+
+class TestMergeCost:
+    def test_bandwidth_bound_on_gpu(self):
+        spec = build_merge_kernel(1 << 20, 4)
+        from repro.hw.cost import wg_time
+        from repro.hw.specs import TESLA_C2070
+
+        per_group = wg_time(spec.cost, TESLA_C2070)
+        bytes_per_group = spec.cost.bytes_total
+        achieved = bytes_per_group / per_group
+        # One slot should stream at a decent fraction of its share.
+        assert achieved > 0.5 * TESLA_C2070.slot_bandwidth

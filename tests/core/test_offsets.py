@@ -1,0 +1,58 @@
+"""Unit and property tests for subkernel offset calculation (section 5.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.offsets import subkernel_slice
+from repro.ocl.ndrange import NDRange
+
+
+class TestSubkernelSlice:
+    def test_1d_exact(self):
+        nd = NDRange(160, 16)  # 10 groups
+        launch = subkernel_slice(nd, 3, 7)
+        assert launch.useful_groups == 4
+        assert launch.surplus_groups == 0
+        assert launch.slice_range.group_offset == (3,)
+
+    def test_2d_whole_rows(self):
+        nd = NDRange((64, 64), (16, 16))  # 4x4 groups
+        launch = subkernel_slice(nd, 6, 10)
+        # Window spans rows 1..2 of the slowest dim: 8 groups launched.
+        assert launch.launched_groups == 8
+        assert launch.surplus_groups == 4
+
+    def test_top_end_window(self):
+        nd = NDRange((64, 64), (16, 16))
+        launch = subkernel_slice(nd, 12, 16)
+        assert launch.slice_range.group_offset == (0, 3)
+        assert launch.surplus_groups == 0
+
+    def test_full_range(self):
+        nd = NDRange((64, 64), (16, 16))
+        launch = subkernel_slice(nd, 0, 16)
+        assert launch.launched_groups == 16
+        assert launch.surplus_groups == 0
+
+    def test_bad_window(self):
+        nd = NDRange(160, 16)
+        with pytest.raises(ValueError):
+            subkernel_slice(nd, 7, 3)
+
+    @given(
+        nx=st.integers(1, 6),
+        ny=st.integers(1, 6),
+        nz=st.integers(1, 4),
+        data=st.data(),
+    )
+    def test_cover_property_3d(self, nx, ny, nz, data):
+        nd = NDRange((nx * 2, ny * 2, nz * 2), (2, 2, 2))
+        total = nd.total_groups
+        start = data.draw(st.integers(0, total - 1))
+        end = data.draw(st.integers(start + 1, total))
+        launch = subkernel_slice(nd, start, end)
+        # Every useful group lies inside the launched slice, and the
+        # surplus never exceeds two hyper-rows minus the useful groups.
+        inner = total // nd.num_groups[-1]
+        assert launch.useful_groups == end - start
+        assert 0 <= launch.surplus_groups < 2 * inner

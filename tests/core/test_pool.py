@@ -1,0 +1,95 @@
+"""Unit tests for the GPU buffer pool (paper section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import BufferPool
+from repro.ocl.platform import Platform
+
+
+@pytest.fixture
+def gpu(machine):
+    return Platform(machine).gpu
+
+
+class TestPooling:
+    def test_first_acquire_is_a_miss_with_cost(self, gpu):
+        pool = BufferPool(gpu)
+        buffer, seconds = pool.acquire((64,), np.float32)
+        assert seconds > 0
+        assert pool.misses == 1
+        assert pool.hits == 0
+
+    def test_reuse_is_free(self, gpu):
+        pool = BufferPool(gpu)
+        buffer, _ = pool.acquire((64,), np.float32)
+        pool.release(buffer)
+        again, seconds = pool.acquire((64,), np.float32)
+        assert again is buffer
+        assert seconds == 0.0
+        assert pool.hits == 1
+
+    def test_different_shape_is_a_miss(self, gpu):
+        pool = BufferPool(gpu)
+        buffer, _ = pool.acquire((64,), np.float32)
+        pool.release(buffer)
+        _other, seconds = pool.acquire((128,), np.float32)
+        assert seconds > 0
+        assert pool.misses == 2
+
+    def test_release_unknown_buffer(self, gpu):
+        pool = BufferPool(gpu)
+        foreign = gpu.create_buffer((4,), np.float32)
+        with pytest.raises(ValueError):
+            pool.release(foreign)
+
+    def test_in_use_accounting(self, gpu):
+        pool = BufferPool(gpu)
+        buffer, _ = pool.acquire((64,), np.float32)
+        assert pool.in_use_count == 1
+        assert pool.idle_count == 0
+        pool.release(buffer)
+        assert pool.in_use_count == 0
+        assert pool.idle_count == 1
+
+
+class TestDisabledPool:
+    def test_every_acquire_allocates(self, gpu):
+        pool = BufferPool(gpu, enabled=False)
+        a, t1 = pool.acquire((64,), np.float32)
+        pool.release(a)
+        b, t2 = pool.acquire((64,), np.float32)
+        assert t1 > 0 and t2 > 0
+        assert pool.misses == 2
+
+    def test_release_frees_device_memory(self, gpu):
+        pool = BufferPool(gpu, enabled=False)
+        used_before = gpu.memory.used
+        buffer, _ = pool.acquire((1024,), np.float32)
+        pool.release(buffer)
+        assert gpu.memory.used == used_before
+
+
+class TestTrimAndDrain:
+    def test_trim_frees_surplus(self, gpu):
+        pool = BufferPool(gpu)
+        buffers = [pool.acquire((64,), np.float32)[0] for _ in range(5)]
+        for buffer in buffers:
+            pool.release(buffer)
+        freed = pool.trim(keep_per_key=2)
+        assert freed == 3
+        assert pool.idle_count == 2
+
+    def test_drain_frees_everything_idle(self, gpu):
+        pool = BufferPool(gpu)
+        used_before = gpu.memory.used
+        buffer, _ = pool.acquire((64,), np.float32)
+        pool.release(buffer)
+        pool.drain()
+        assert gpu.memory.used == used_before
+        assert pool.idle_count == 0
+
+    def test_allocation_time_scales_with_size(self):
+        small = BufferPool.allocation_time(1024)
+        large = BufferPool.allocation_time(64 << 20)
+        assert large > small

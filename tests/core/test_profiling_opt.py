@@ -1,0 +1,61 @@
+"""Unit tests for online kernel-version profiling (section 6.6)."""
+
+import pytest
+
+from repro.core.profiling_opt import OnlineKernelProfiler
+
+from tests.conftest import make_scale_kernel
+
+
+def versions(n=2):
+    base = make_scale_kernel(64)
+    return [base] + [
+        base.with_version(f"v{i}", base.body) for i in range(1, n)
+    ]
+
+
+class TestProfiler:
+    def test_single_version_never_probes(self):
+        profiler = OnlineKernelProfiler(versions(1))
+        assert not profiler.probing
+        assert profiler.chosen.version == "baseline"
+
+    def test_disabled_uses_first(self):
+        profiler = OnlineKernelProfiler(versions(3), enabled=False)
+        assert not profiler.probing
+        assert profiler.chosen.version == "baseline"
+
+    def test_probes_each_version_once(self):
+        profiler = OnlineKernelProfiler(versions(3))
+        seen = []
+        while profiler.probing:
+            seen.append(profiler.next_version().version)
+            profiler.observe(1.0)
+        assert seen == ["baseline", "v1", "v2"]
+
+    def test_picks_fastest(self):
+        profiler = OnlineKernelProfiler(versions(3))
+        timings = [3.0, 1.0, 2.0]
+        for t in timings:
+            profiler.observe(t)
+        assert profiler.chosen.version == "v1"
+        assert profiler.next_version().version == "v1"
+
+    def test_observe_after_choice_is_ignored(self):
+        profiler = OnlineKernelProfiler(versions(2))
+        profiler.observe(1.0)
+        profiler.observe(2.0)
+        profiler.observe(0.0)  # no effect
+        assert profiler.chosen.version == "baseline"
+
+    def test_summary(self):
+        profiler = OnlineKernelProfiler(versions(2))
+        profiler.observe(2.0)
+        profiler.observe(1.0)
+        summary = profiler.summary()
+        assert summary["chosen"] == "v1"
+        assert summary["timings"] == [2.0, 1.0]
+
+    def test_empty_versions_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineKernelProfiler([])

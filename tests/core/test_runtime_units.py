@@ -1,0 +1,159 @@
+"""Focused unit tests for FluidiCL runtime internals and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import DIRTY
+from repro.core.config import FluidiCLConfig
+from repro.core.runtime import FluidiCLRuntime
+from repro.hw.machine import build_machine
+from repro.ocl.ndrange import NDRange
+
+from tests.conftest import make_scale_kernel
+
+
+@pytest.fixture
+def runtime():
+    return FluidiCLRuntime(build_machine())
+
+
+def launch(runtime, spec, n, bufs, alpha=2.0):
+    runtime.enqueue_nd_range_kernel(
+        spec, NDRange(n, 16), {"x": bufs[0], "y": bufs[1], "alpha": alpha}
+    )
+
+
+class TestVersionEdgeCases:
+    def test_stale_on_both_devices_is_an_error(self, runtime):
+        buf = runtime.create_buffer("b", (64,), np.float32)
+        buf.latest = 5
+        buf.version_gpu = DIRTY
+        buf.version_cpu = DIRTY
+        with pytest.raises(RuntimeError, match="stale on both"):
+            runtime._refresh_gpu_inputs([buf])
+
+    def test_host_write_bumps_version_monotonically(self, runtime):
+        buf = runtime.create_buffer("b", (64,), np.float32)
+        runtime.enqueue_write_buffer(buf, np.zeros(64, dtype=np.float32))
+        first = buf.latest
+        runtime.enqueue_write_buffer(buf, np.ones(64, dtype=np.float32))
+        assert buf.latest > first
+
+    def test_rewrite_supersedes_kernel_output(self, runtime):
+        """Host writes after a kernel: the write's data must win."""
+        n = 256
+        spec = make_scale_kernel(n, gpu_eff=0.8, cpu_eff=0.2)
+        bufs = (
+            runtime.create_buffer("x", (n,), np.float32),
+            runtime.create_buffer("y", (n,), np.float32),
+        )
+        runtime.enqueue_write_buffer(bufs[0], np.ones(n, dtype=np.float32))
+        launch(runtime, spec, n, bufs)
+        fresh = np.full(n, 42.0, dtype=np.float32)
+        runtime.enqueue_write_buffer(bufs[1], fresh)
+        out = np.zeros(n, dtype=np.float32)
+        runtime.enqueue_read_buffer(bufs[1], out)
+        runtime.finish()
+        runtime.drain()
+        assert np.all(out == 42.0)
+
+    def test_stale_dh_discard_counted_when_rewritten_midflight(self):
+        """A host write racing the previous kernel's DH read-back must win,
+        and the late DH data must be discarded (§5.3)."""
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        n = 4096
+        # GPU-dominant so the kernel commits on the GPU and a DH starts.
+        spec = make_scale_kernel(n, gpu_eff=0.9, cpu_eff=0.05, work_scale=32.0)
+        bufs = (
+            runtime.create_buffer("x", (n,), np.float32),
+            runtime.create_buffer("y", (n,), np.float32),
+        )
+        runtime.enqueue_write_buffer(bufs[0], np.ones(n, dtype=np.float32))
+        launch(runtime, spec, n, bufs)
+        # Immediately overwrite y while its DH transfer is in flight.
+        fresh = np.full(n, -1.0, dtype=np.float32)
+        runtime.enqueue_write_buffer(bufs[1], fresh)
+        out = np.zeros(n, dtype=np.float32)
+        runtime.enqueue_read_buffer(bufs[1], out)
+        runtime.finish()
+        runtime.drain()
+        assert np.all(out == -1.0)
+        assert runtime.stats.extra["stale_dh_discards"] >= 1
+
+
+class TestMergeDecisions:
+    def test_no_merge_when_cpu_contributed_nothing(self, runtime):
+        n = 256  # too short for any CPU credit to land
+        spec = make_scale_kernel(n, gpu_eff=0.9, cpu_eff=0.01)
+        bufs = (
+            runtime.create_buffer("x", (n,), np.float32),
+            runtime.create_buffer("y", (n,), np.float32),
+        )
+        runtime.enqueue_write_buffer(bufs[0], np.ones(n, dtype=np.float32))
+        launch(runtime, spec, n, bufs)
+        runtime.finish()
+        record = runtime.records[0]
+        assert not record.merged
+        assert record.cpu_groups == 0
+
+    def test_merge_count_tracks_out_buffers(self):
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        n = 16384
+        spec = make_scale_kernel(n, gpu_eff=0.4, cpu_eff=0.6, work_scale=32.0)
+        bufs = (
+            runtime.create_buffer("x", (n,), np.float32),
+            runtime.create_buffer("y", (n,), np.float32),
+        )
+        runtime.enqueue_write_buffer(bufs[0], np.ones(n, dtype=np.float32))
+        launch(runtime, spec, n, bufs)
+        runtime.finish()
+        assert runtime.records[0].merged
+        assert runtime.stats.extra["merges"] == 1
+
+
+class TestRecords:
+    def _cooperative(self):
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        n = 16384
+        spec = make_scale_kernel(n, gpu_eff=0.4, cpu_eff=0.6, work_scale=32.0)
+        bufs = (
+            runtime.create_buffer("x", (n,), np.float32),
+            runtime.create_buffer("y", (n,), np.float32),
+        )
+        runtime.enqueue_write_buffer(bufs[0], np.ones(n, dtype=np.float32))
+        launch(runtime, spec, n, bufs)
+        runtime.finish()
+        runtime.drain()
+        return runtime.records[0]
+
+    def test_gpu_span_within_record(self):
+        record = self._cooperative()
+        start, end = record.gpu_span
+        assert record.start_time <= start < end
+
+    def test_chunks_sum_to_cpu_executed(self):
+        record = self._cooperative()
+        assert sum(record.chunks) == record.cpu_groups_executed
+
+    def test_wasted_cpu_work_nonnegative(self):
+        record = self._cooperative()
+        assert record.wasted_cpu_groups >= 0
+
+    def test_1d_range_has_no_surplus(self):
+        record = self._cooperative()
+        assert record.surplus_groups == 0
+
+    def test_2d_range_reports_surplus(self):
+        """2-D covering slices can launch extra, range-checked groups."""
+        from repro.polybench import SyrkApp
+
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        app = SyrkApp(n=768)
+        app.execute(runtime, check=False)
+        record = runtime.records[0]
+        assert record.surplus_groups >= 0
+        assert record.subkernels >= 1

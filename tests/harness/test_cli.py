@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.harness`` command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "GESUMMV" in out
+        assert "harness wall time" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table2", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "table1" in out
+
+    def test_extension_experiment_dispatches(self, capsys):
+        assert main(["ext_location"]) == 0
+        assert "ext_location" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_help_lists_extensions(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "ext_phi" in out

@@ -1,0 +1,88 @@
+"""Tests for the background-load generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import FluidiCLRuntime
+from repro.harness.loadgen import BackgroundLoad
+from repro.hw.machine import build_machine
+from repro.ocl.kernel import Kernel
+from repro.ocl.ndrange import NDRange
+from repro.ocl.platform import Platform
+from repro.kernels.transforms import plain_variant
+
+from tests.conftest import make_scale_kernel
+
+
+class TestBackgroundLoad:
+    def test_validation(self, machine):
+        device = Platform(machine).cpu
+        with pytest.raises(ValueError):
+            BackgroundLoad(device, duty=1.0)
+        with pytest.raises(ValueError):
+            BackgroundLoad(device, duty=0.5, period=0)
+
+    def test_zero_duty_is_inert(self, machine):
+        device = Platform(machine).cpu
+        load = BackgroundLoad(device, duty=0.0)
+        machine.engine.run(machine.now + 0.01)
+        assert load.busy_time == 0.0
+        load.stop()  # no-op
+
+    def test_load_slows_command_sequences_proportionally(self):
+        """A sequence of kernel commands (like FluidiCL's subkernels)
+        interleaves with the load at command boundaries, so its total wall
+        time degrades roughly by the fair-share factor.
+
+        A *single* command holds the compute engine for its whole duration
+        (only its start is delayed) — which is why FluidiCL's small
+        subkernels are what makes load adaptation possible at all.
+        """
+
+        def sequence_time(duty, commands=8):
+            machine = build_machine()
+            platform = Platform(machine)
+            cpu = platform.cpu
+            queue = platform.create_context().create_queue(cpu)
+            load = BackgroundLoad(cpu, duty=duty, period=5e-4)
+            spec = make_scale_kernel(4096, cpu_eff=0.5, work_scale=8)
+            x = cpu.create_buffer((4096,), np.float32)
+            y = cpu.create_buffer((4096,), np.float32)
+            kernel = Kernel(plain_variant(spec), {"x": x, "y": y, "alpha": 1.0})
+            for _ in range(commands):
+                event = queue.enqueue_nd_range_kernel(kernel, NDRange(4096, 16))
+            machine.run_until(event.done)
+            load.stop()
+            return machine.now
+
+        base = sequence_time(0.0)
+        loaded = sequence_time(0.75)
+        # Fair share at 75% load => ~4x; allow slack for burst granularity.
+        assert loaded > 2.5 * base
+
+    def test_stop_lets_engine_drain(self, machine):
+        device = Platform(machine).cpu
+        load = BackgroundLoad(device, duty=0.5)
+        machine.engine.run(machine.now + 0.005)
+        load.stop()
+        machine.engine.run()  # must terminate (no live infinite process)
+        assert load.busy_time > 0
+
+    def test_fluidicl_stays_correct_under_load(self):
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        load = BackgroundLoad(runtime.cpu_device, duty=0.8)
+        n = 8192
+        spec = make_scale_kernel(n, gpu_eff=0.4, cpu_eff=0.6, work_scale=32.0)
+        x = np.arange(n, dtype=np.float32)
+        buf_x = runtime.create_buffer("x", (n,), np.float32)
+        buf_y = runtime.create_buffer("y", (n,), np.float32)
+        runtime.enqueue_write_buffer(buf_x, x)
+        runtime.enqueue_nd_range_kernel(
+            spec, NDRange(n, 16), {"x": buf_x, "y": buf_y, "alpha": 2.0}
+        )
+        y = np.zeros(n, dtype=np.float32)
+        runtime.enqueue_read_buffer(buf_y, y)
+        runtime.finish()
+        load.stop()
+        assert np.allclose(y, 2.0 * x)

@@ -1,0 +1,69 @@
+"""Unit tests for harness reporting utilities."""
+
+import math
+
+import pytest
+
+from repro.harness.report import ExperimentResult, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_matches_log_definition(self):
+        values = [0.5, 2.0, 8.0]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geomean(values) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        table = format_table(["name", "value"], [["x", 1.23456]])
+        assert "name" in table
+        assert "1.235" in table
+
+    def test_column_alignment(self):
+        table = format_table(["a"], [["long-cell"], ["s"]])
+        lines = table.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            "figX", "Example", ["benchmark", "value"],
+            rows=[["a", 1.0], ["b", 2.0]],
+            notes=["a note"],
+        )
+
+    def test_render_includes_everything(self):
+        text = self.make().render()
+        assert "figX" in text
+        assert "Example" in text
+        assert "a note" in text
+
+    def test_column(self):
+        assert self.make().column("value") == [1.0, 2.0]
+
+    def test_row_by(self):
+        assert self.make().row_by("b") == ["b", 2.0]
+        with pytest.raises(KeyError):
+            self.make().row_by("zzz")
+
+    def test_to_csv(self):
+        csv = self.make().to_csv()
+        assert csv.splitlines()[0] == "benchmark,value"
+        assert "a,1.000" in csv

@@ -1,0 +1,109 @@
+"""Tests for timeline extraction — including the §5.5 overlap property."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import FluidiCLRuntime
+from repro.harness.timeline import Span, extract_spans, overlap_seconds, render_gantt
+from repro.hw.machine import build_machine
+from repro.ocl.ndrange import NDRange
+from repro.sim.trace import Tracer
+
+from tests.conftest import make_scale_kernel
+
+
+class TestSpanMechanics:
+    def test_overlap_seconds(self):
+        a = Span("q", "k", "a", 0.0, 2.0)
+        b = Span("q", "k", "b", 1.0, 3.0)
+        assert overlap_seconds(a, b) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        a = Span("q", "k", "a", 0.0, 1.0)
+        b = Span("q", "k", "b", 2.0, 3.0)
+        assert overlap_seconds(a, b) == 0.0
+
+    def test_duration(self):
+        assert Span("q", "k", "a", 1.0, 2.5).duration == pytest.approx(1.5)
+
+    def test_extract_pairs_in_order(self):
+        tracer = Tracer()
+        tracer.record(0.0, "cmd_start", {"queue": "q", "type": "x", "kernel": "k"})
+        tracer.record(1.0, "cmd_end", {"queue": "q", "type": "x", "kernel": "k"})
+        tracer.record(1.0, "cmd_start", {"queue": "q", "type": "x", "kernel": "k"})
+        tracer.record(3.0, "cmd_end", {"queue": "q", "type": "x", "kernel": "k"})
+        spans = extract_spans(tracer)
+        assert [(s.start, s.end) for s in spans] == [(0.0, 1.0), (1.0, 3.0)]
+
+    def test_kind_filter(self):
+        tracer = Tracer()
+        tracer.record(0.0, "cmd_start", {"queue": "q", "type": "a"})
+        tracer.record(1.0, "cmd_end", {"queue": "q", "type": "a"})
+        tracer.record(1.0, "cmd_start", {"queue": "q", "type": "b"})
+        tracer.record(2.0, "cmd_end", {"queue": "q", "type": "b"})
+        assert len(extract_spans(tracer, kinds=["a"])) == 1
+
+    def test_render_empty(self):
+        assert "empty" in render_gantt([])
+
+    def test_render_contains_queues(self):
+        spans = [Span("alpha", "k", "x", 0.0, 1.0), Span("beta", "k", "y", 0.5, 2.0)]
+        chart = render_gantt(spans)
+        assert "alpha" in chart and "beta" in chart
+        assert "#" in chart
+
+
+class TestFluidiclOverlap:
+    def _traced_run(self):
+        machine = build_machine(trace=True)
+        runtime = FluidiCLRuntime(machine)
+        n = 16384
+        spec = make_scale_kernel(n, gpu_eff=0.4, cpu_eff=0.6, work_scale=32.0)
+        x = np.ones(n, dtype=np.float32)
+        buf_x = runtime.create_buffer("x", (n,), np.float32)
+        buf_y = runtime.create_buffer("y", (n,), np.float32)
+        runtime.enqueue_write_buffer(buf_x, x)
+        runtime.enqueue_nd_range_kernel(
+            spec, NDRange(n, 16), {"x": buf_x, "y": buf_y, "alpha": 2.0}
+        )
+        out = np.zeros(n, dtype=np.float32)
+        runtime.enqueue_read_buffer(buf_y, out)
+        runtime.finish()
+        runtime.drain()
+        return machine, runtime
+
+    def test_cpu_results_transfer_overlaps_gpu_compute(self):
+        """§5.5: hd-queue transfers proceed while the GPU kernel runs."""
+        machine, _runtime = self._traced_run()
+        spans = extract_spans(machine.tracer)
+        gpu_kernels = [
+            s for s in spans
+            if s.queue == "fluidicl-app" and s.kind == "ndrange_kernel"
+            and "merge" not in s.label
+        ]
+        hd_transfers = [
+            s for s in spans
+            if s.queue == "fluidicl-hd" and s.kind == "write_buffer"
+        ]
+        assert gpu_kernels and hd_transfers
+        overlapped = sum(
+            overlap_seconds(k, t) for k in gpu_kernels for t in hd_transfers
+        )
+        assert overlapped > 0, "CPU->GPU shipping must overlap GPU compute"
+
+    def test_cpu_and_gpu_kernels_overlap(self):
+        """The essence of cooperative execution: both devices compute at
+        the same simulated time."""
+        machine, _runtime = self._traced_run()
+        spans = extract_spans(machine.tracer, kinds=["ndrange_kernel"])
+        gpu = [s for s in spans if s.queue == "fluidicl-app"]
+        cpu = [s for s in spans if s.queue == "fluidicl-cpu"]
+        assert gpu and cpu
+        overlapped = sum(overlap_seconds(g, c) for g in gpu for c in cpu)
+        assert overlapped > 0
+
+    def test_gantt_renders_all_queues(self):
+        machine, _runtime = self._traced_run()
+        chart = render_gantt(extract_spans(machine.tracer))
+        for queue in ("fluidicl-app", "fluidicl-cpu", "fluidicl-hd"):
+            assert queue in chart

@@ -1,0 +1,114 @@
+"""Unit tests for the work-group cost model."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.cost import UNROLLED_CHECK_PENALTY, WorkGroupCost, wave_duration, wg_time
+from repro.hw.specs import TESLA_C2070, XEON_W3550
+
+
+def cost(flops=1e6, read=1e5, write=1e4, **kwargs):
+    return WorkGroupCost(flops=flops, bytes_read=read, bytes_written=write,
+                         **kwargs)
+
+
+class TestWorkGroupCost:
+    def test_bytes_total(self):
+        c = cost(read=100, write=50)
+        assert c.bytes_total == 150
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            cost(flops=-1)
+
+    def test_loop_iters_validated(self):
+        with pytest.raises(ValueError):
+            cost(loop_iters=0)
+
+    def test_efficiency_range_validated(self):
+        with pytest.raises(ValueError):
+            cost(compute_efficiency={"gpu": 0.0})
+        with pytest.raises(ValueError):
+            cost(memory_efficiency={"cpu": 2.0})
+
+    def test_with_penalty_scales_flops_only(self):
+        c = cost(flops=100, read=10, write=10)
+        inflated = c.with_penalty(2.0)
+        assert inflated.flops == 200
+        assert inflated.bytes_read == 10
+
+    def test_scaled(self):
+        c = cost(flops=100, read=10, write=10).scaled(0.5)
+        assert (c.flops, c.bytes_read, c.bytes_written) == (50, 5, 5)
+
+
+class TestWgTime:
+    def test_roofline_compute_bound(self):
+        c = cost(flops=1e9, read=1.0, write=0.0)
+        expected = 1e9 / TESLA_C2070.slot_flops
+        assert wg_time(c, TESLA_C2070) == pytest.approx(expected)
+
+    def test_roofline_memory_bound(self):
+        c = cost(flops=1.0, read=1e8, write=0.0)
+        expected = 1e8 / TESLA_C2070.slot_bandwidth
+        assert wg_time(c, TESLA_C2070) == pytest.approx(expected)
+
+    def test_efficiency_slows_down(self):
+        fast = cost(compute_efficiency={"gpu": 1.0}, memory_efficiency={"gpu": 1.0})
+        slow = cost(compute_efficiency={"gpu": 0.5}, memory_efficiency={"gpu": 0.5})
+        assert wg_time(slow, TESLA_C2070) == pytest.approx(
+            2 * wg_time(fast, TESLA_C2070)
+        )
+
+    def test_per_device_efficiency_lookup(self):
+        c = cost(
+            compute_efficiency={"gpu": 1.0, "cpu": 0.1},
+            memory_efficiency={"gpu": 1.0, "cpu": 0.1},
+        )
+        # Relative to hardware peaks, the CPU run must be far slower here.
+        gpu_hw_ratio = wg_time(c, XEON_W3550) / wg_time(c, TESLA_C2070)
+        assert gpu_hw_ratio > 5
+
+    def test_time_multiplier(self):
+        c = cost()
+        assert wg_time(c, TESLA_C2070, time_multiplier=1.3) == pytest.approx(
+            1.3 * wg_time(c, TESLA_C2070)
+        )
+
+    def test_unrolled_penalty_is_small(self):
+        assert 1.0 < UNROLLED_CHECK_PENALTY < 1.1
+
+    @given(
+        flops=st.floats(1.0, 1e12),
+        read=st.floats(0.0, 1e9),
+        write=st.floats(0.0, 1e9),
+    )
+    def test_time_always_positive_and_monotone(self, flops, read, write):
+        base = WorkGroupCost(flops=flops, bytes_read=read, bytes_written=write)
+        bigger = WorkGroupCost(
+            flops=flops * 2, bytes_read=read * 2, bytes_written=write * 2
+        )
+        assert wg_time(base, TESLA_C2070) > 0
+        assert wg_time(bigger, TESLA_C2070) >= wg_time(base, TESLA_C2070)
+
+
+class TestWaveDuration:
+    def test_includes_overhead(self):
+        c = cost()
+        assert wave_duration(c, TESLA_C2070, 10) == pytest.approx(
+            TESLA_C2070.wave_overhead + wg_time(c, TESLA_C2070)
+        )
+
+    def test_partial_wave_same_duration(self):
+        c = cost()
+        assert wave_duration(c, TESLA_C2070, 1) == wave_duration(c, TESLA_C2070, 112)
+
+    def test_oversize_wave_rejected(self):
+        with pytest.raises(ValueError):
+            wave_duration(cost(), TESLA_C2070, 113)
+
+    def test_empty_wave_rejected(self):
+        with pytest.raises(ValueError):
+            wave_duration(cost(), TESLA_C2070, 0)

@@ -1,0 +1,58 @@
+"""Unit tests for device memory accounting."""
+
+import pytest
+
+from repro.hw.memory import DeviceMemory, OutOfDeviceMemoryError
+
+
+class TestDeviceMemory:
+    def test_allocate_and_release(self):
+        memory = DeviceMemory(1000)
+        handle = memory.allocate(400)
+        assert memory.used == 400
+        assert memory.free == 600
+        memory.release(handle)
+        assert memory.used == 0
+
+    def test_out_of_memory(self):
+        memory = DeviceMemory(100)
+        memory.allocate(80)
+        with pytest.raises(OutOfDeviceMemoryError):
+            memory.allocate(30)
+
+    def test_exact_fit_allowed(self):
+        memory = DeviceMemory(100)
+        memory.allocate(100)
+        assert memory.free == 0
+
+    def test_peak_usage_tracked(self):
+        memory = DeviceMemory(1000)
+        a = memory.allocate(600)
+        memory.release(a)
+        memory.allocate(100)
+        assert memory.peak_usage == 600
+
+    def test_release_unknown_handle(self):
+        memory = DeviceMemory(100)
+        with pytest.raises(KeyError):
+            memory.release(42)
+
+    def test_double_release(self):
+        memory = DeviceMemory(100)
+        handle = memory.allocate(10)
+        memory.release(handle)
+        with pytest.raises(KeyError):
+            memory.release(handle)
+
+    def test_allocation_count(self):
+        memory = DeviceMemory(100)
+        memory.allocate(10)
+        memory.allocate(10)
+        assert memory.allocation_count == 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)
+        memory = DeviceMemory(100)
+        with pytest.raises(ValueError):
+            memory.allocate(-1)

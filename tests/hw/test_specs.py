@@ -1,0 +1,78 @@
+"""Unit tests for device/host specs and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.specs import (
+    DEFAULT_HOST,
+    HOST_DDR3,
+    PCIE_GEN2_X16,
+    TESLA_C2070,
+    XEON_W3550,
+    DeviceKind,
+    DeviceSpec,
+)
+
+
+class TestPresets:
+    def test_gpu_preset_shape(self):
+        assert TESLA_C2070.kind is DeviceKind.GPU
+        assert TESLA_C2070.compute_units == 14
+        assert TESLA_C2070.concurrent_workgroups == 112
+        assert TESLA_C2070.peak_flops > 1e12
+
+    def test_cpu_preset_shape(self):
+        assert XEON_W3550.kind is DeviceKind.CPU
+        assert XEON_W3550.compute_units == 8
+        assert XEON_W3550.concurrent_workgroups == 8
+
+    def test_gpu_has_more_bandwidth_than_pcie(self):
+        assert TESLA_C2070.mem_bandwidth > 10 * PCIE_GEN2_X16.bandwidth
+
+    def test_host_link_low_latency(self):
+        assert HOST_DDR3.latency < PCIE_GEN2_X16.latency
+
+    def test_cpu_launch_overhead_exceeds_gpu(self):
+        # The AMD CPU runtime's kernel dispatch is the expensive one the
+        # adaptive chunker amortizes (paper section 5.1).
+        assert XEON_W3550.kernel_launch_overhead > TESLA_C2070.kernel_launch_overhead
+
+    def test_default_host_sane(self):
+        assert DEFAULT_HOST.memcpy_bandwidth > 1e9
+        assert DEFAULT_HOST.thread_spawn_overhead > 0
+
+
+class TestDeviceSpec:
+    def test_slot_shares(self):
+        assert TESLA_C2070.slot_flops == pytest.approx(
+            TESLA_C2070.peak_flops / 112
+        )
+        assert TESLA_C2070.slot_bandwidth == pytest.approx(
+            TESLA_C2070.mem_bandwidth / 112
+        )
+
+    def test_scaled(self):
+        double = TESLA_C2070.scaled(2.0)
+        assert double.peak_flops == pytest.approx(2 * TESLA_C2070.peak_flops)
+        assert double.compute_units == TESLA_C2070.compute_units
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TESLA_C2070.peak_flops = 1.0
+
+    def test_validation_compute_units(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TESLA_C2070, compute_units=0)
+
+    def test_validation_concurrency_vs_units(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TESLA_C2070, concurrent_workgroups=4)
+
+    def test_validation_positive_rates(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TESLA_C2070, peak_flops=0.0)
+
+    def test_kind_is_string_enum(self):
+        assert DeviceKind.GPU.value == "gpu"
+        assert str(DeviceKind.CPU) == "cpu"

@@ -1,0 +1,51 @@
+"""Unit tests for numeric validation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels.validation import (
+    assert_allclose,
+    assert_results_match,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_identical_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert relative_error(a, a) == 0.0
+
+    def test_normalized_by_magnitude(self):
+        expected = np.array([100.0, 0.0])
+        actual = np.array([100.0, 1.0])
+        assert relative_error(actual, expected) == pytest.approx(0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros(3), np.zeros(4))
+
+    def test_zero_reference_uses_floor(self):
+        assert relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+    @given(hnp.arrays(np.float64, 10,
+                      elements=st.floats(-1e6, 1e6)))
+    def test_nonnegative(self, arr):
+        assert relative_error(arr, np.zeros_like(arr)) >= 0
+
+
+class TestAsserts:
+    def test_assert_allclose_passes(self):
+        assert_allclose(np.ones(3) * (1 + 1e-7), np.ones(3))
+
+    def test_assert_allclose_fails_with_label(self):
+        with pytest.raises(AssertionError, match="mybuf"):
+            assert_allclose(np.ones(3) * 2, np.ones(3), label="mybuf")
+
+    def test_results_match(self):
+        assert_results_match({"a": np.ones(2)}, {"a": np.ones(2)})
+
+    def test_results_missing_output(self):
+        with pytest.raises(AssertionError, match="missing"):
+            assert_results_match({}, {"a": np.ones(2)})

@@ -1,0 +1,97 @@
+"""Unit tests for device buffers and their discrete address spaces."""
+
+import numpy as np
+import pytest
+
+from repro.hw.memory import OutOfDeviceMemoryError
+from repro.ocl.device import Device
+from repro.ocl.platform import Platform
+
+
+@pytest.fixture
+def gpu(machine):
+    return Platform(machine).gpu
+
+
+@pytest.fixture
+def cpu(machine):
+    return Platform(machine).cpu
+
+
+class TestBuffer:
+    def test_zero_initialized(self, gpu):
+        buf = gpu.create_buffer((4,), np.float32)
+        assert np.all(buf.array == 0)
+
+    def test_nbytes(self, gpu):
+        buf = gpu.create_buffer((8, 8), np.float64)
+        assert buf.nbytes == 8 * 8 * 8
+
+    def test_write_and_read(self, gpu):
+        buf = gpu.create_buffer((4,), np.float32)
+        data = np.array([1, 2, 3, 4], dtype=np.float32)
+        buf.write_from(data)
+        out = np.zeros(4, dtype=np.float32)
+        buf.read_into(out)
+        assert np.array_equal(out, data)
+
+    def test_write_casts_dtype(self, gpu):
+        buf = gpu.create_buffer((2,), np.float32)
+        buf.write_from(np.array([1.5, 2.5], dtype=np.float64))
+        assert buf.array.dtype == np.float32
+
+    def test_discrete_address_spaces(self, gpu, cpu):
+        gpu_buf = gpu.create_buffer((4,), np.float32, name="b")
+        cpu_buf = cpu.create_buffer((4,), np.float32, name="b")
+        gpu_buf.write_from(np.ones(4, dtype=np.float32))
+        assert np.all(cpu_buf.array == 0), "device copies must be independent"
+
+    def test_copy_from_same_device(self, gpu):
+        a = gpu.create_buffer((4,), np.float32)
+        b = gpu.create_buffer((4,), np.float32)
+        a.write_from(np.arange(4, dtype=np.float32))
+        b.copy_from(a)
+        assert np.array_equal(b.array, a.array)
+
+    def test_copy_from_other_device_rejected(self, gpu, cpu):
+        a = gpu.create_buffer((4,), np.float32)
+        b = cpu.create_buffer((4,), np.float32)
+        with pytest.raises(ValueError):
+            b.copy_from(a)
+
+    def test_snapshot_is_independent(self, gpu):
+        buf = gpu.create_buffer((4,), np.float32)
+        snap = buf.snapshot()
+        buf.write_from(np.ones(4, dtype=np.float32))
+        assert np.all(snap == 0)
+
+    def test_release_frees_memory(self, gpu):
+        used_before = gpu.memory.used
+        buf = gpu.create_buffer((1024,), np.float32)
+        assert gpu.memory.used > used_before
+        buf.release()
+        assert gpu.memory.used == used_before
+
+    def test_use_after_release(self, gpu):
+        buf = gpu.create_buffer((4,), np.float32)
+        buf.release()
+        with pytest.raises(RuntimeError):
+            _ = buf.array
+
+    def test_double_release_is_noop(self, gpu):
+        buf = gpu.create_buffer((4,), np.float32)
+        buf.release()
+        buf.release()
+
+    def test_allocation_respects_capacity(self, machine):
+        device = Platform(machine).gpu
+        too_big = int(device.memory.capacity) + 1
+        with pytest.raises(OutOfDeviceMemoryError):
+            device.create_buffer((too_big,), np.uint8)
+
+    def test_partial_region_write(self, gpu):
+        buf = gpu.create_buffer((8,), np.float32)
+        data = np.arange(8, dtype=np.float32)
+        buf.write_from(data, region=slice(2, 5))
+        assert np.array_equal(buf.array[2:5], data[2:5])
+        assert np.all(buf.array[:2] == 0)

@@ -1,0 +1,91 @@
+"""Command-level unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.commands import CallbackCommand, CopyBufferCommand, WriteBufferCommand
+from repro.ocl.platform import Platform
+
+
+@pytest.fixture
+def platform(machine):
+    return Platform(machine)
+
+
+@pytest.fixture
+def gpu_queue(platform):
+    return platform.create_context().create_queue(platform.gpu, "q")
+
+
+class TestWriteBuffer:
+    def test_callable_source_snapshots_at_execution(self, machine, platform,
+                                                    gpu_queue):
+        """FluidiCL passes deferred sources (the scheduler's intermediate
+        copies); the data must be taken when the transfer completes."""
+        gpu = platform.gpu
+        buf = gpu.create_buffer((4,), np.float32)
+        box = {"data": np.zeros(4, dtype=np.float32)}
+        event = gpu_queue.enqueue_write_buffer(buf, lambda: box["data"])
+        box["data"] = np.full(4, 7.0, dtype=np.float32)
+        machine.run_until(event.done)
+        assert np.all(buf.array == 7.0)
+
+    def test_partial_nbytes_charged(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((1 << 20,), np.uint8)
+        small = gpu_queue.enqueue_write_buffer(
+            buf, np.zeros(1 << 20, dtype=np.uint8), nbytes=64
+        )
+        machine.run_until(small.done)
+        # Time charged for 64 bytes, i.e. essentially just link latency.
+        assert small.duration == pytest.approx(
+            gpu.transfer_time(64), rel=1e-9
+        )
+
+
+class TestCopyBuffer:
+    def test_size_mismatch_rejected(self, platform):
+        gpu = platform.gpu
+        a = gpu.create_buffer((4,), np.float32)
+        b = gpu.create_buffer((8,), np.float32)
+        with pytest.raises(ValueError):
+            CopyBufferCommand(a, b)
+
+    def test_cross_device_rejected(self, platform):
+        a = platform.gpu.create_buffer((4,), np.float32)
+        b = platform.cpu.create_buffer((4,), np.float32)
+        with pytest.raises(ValueError):
+            CopyBufferCommand(a, b)
+
+    def test_copy_time_uses_device_bandwidth(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        a = gpu.create_buffer((1 << 20,), np.uint8)
+        b = gpu.create_buffer((1 << 20,), np.uint8)
+        event = gpu_queue.enqueue_copy_buffer(a, b)
+        machine.run_until(event.done)
+        assert event.duration == pytest.approx(
+            gpu.device_copy_time(1 << 20), rel=1e-9
+        )
+
+
+class TestCallback:
+    def test_engine_name_validated(self):
+        with pytest.raises(ValueError):
+            CallbackCommand(lambda q: None, engine="warp-drive")
+
+    def test_engine_occupancy_duration(self, machine, platform, gpu_queue):
+        fired = []
+        event = gpu_queue.enqueue_callback(
+            lambda _q: fired.append(machine.now), engine="h2d", duration=1e-3
+        )
+        machine.run_until(event.done)
+        assert fired[0] >= 1e-3
+
+    def test_plain_delay_without_engine(self, machine, gpu_queue):
+        event = gpu_queue.enqueue_callback(lambda _q: None, duration=5e-4)
+        machine.run_until(event.done)
+        assert event.duration == pytest.approx(5e-4)
+
+    def test_describe_carries_label(self):
+        command = CallbackCommand(lambda q: None, label="status->42")
+        assert command.describe() == {"label": "status->42"}

@@ -1,0 +1,28 @@
+"""Semantic tests for the OpenCL-style enumerations."""
+
+from repro.ocl.enums import CommandStatus, CommandType, MemFlag
+
+
+class TestMemFlag:
+    def test_read_write_is_writable(self):
+        assert MemFlag.READ_WRITE.kernel_may_write
+
+    def test_write_only_is_writable(self):
+        assert MemFlag.WRITE_ONLY.kernel_may_write
+
+    def test_read_only_is_not_writable(self):
+        assert not MemFlag.READ_ONLY.kernel_may_write
+
+    def test_flags_combine(self):
+        combined = MemFlag.READ_ONLY | MemFlag.WRITE_ONLY
+        assert combined.kernel_may_write
+
+
+class TestStringEnums:
+    def test_command_types_stringify(self):
+        assert str(CommandType.ND_RANGE_KERNEL) == "ndrange_kernel"
+        assert str(CommandType.WRITE_BUFFER) == "write_buffer"
+
+    def test_status_values(self):
+        assert CommandStatus.QUEUED.value == "queued"
+        assert CommandStatus.COMPLETE.value == "complete"

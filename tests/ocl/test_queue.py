@@ -1,0 +1,131 @@
+"""Tests for in-order command queues, engines and profiling events."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.enums import CommandStatus, CommandType
+from repro.ocl.platform import Platform
+
+
+@pytest.fixture
+def platform(machine):
+    return Platform(machine)
+
+
+@pytest.fixture
+def gpu_queue(platform):
+    return platform.create_context().create_queue(platform.gpu, "q")
+
+
+class TestInOrderSemantics:
+    def test_commands_execute_in_enqueue_order(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((1024,), np.float32)
+        first = gpu_queue.enqueue_write_buffer(buf, np.ones(1024, dtype=np.float32))
+        second = gpu_queue.enqueue_read_buffer(buf, np.zeros(1024, dtype=np.float32))
+        machine.run_until(second.done)
+        assert first.finished <= second.started
+
+    def test_write_then_read_round_trip(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((16,), np.float32)
+        data = np.arange(16, dtype=np.float32)
+        out = np.zeros(16, dtype=np.float32)
+        gpu_queue.enqueue_write_buffer(buf, data)
+        event = gpu_queue.enqueue_read_buffer(buf, out)
+        machine.run_until(event.done)
+        assert np.array_equal(out, data)
+
+    def test_marker_fences_prior_work(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((1 << 20,), np.uint8)
+        write = gpu_queue.enqueue_write_buffer(buf, np.zeros(1 << 20, dtype=np.uint8))
+        marker = gpu_queue.enqueue_marker()
+        machine.run_until(marker.done)
+        assert write.is_complete
+
+    def test_finish_event_on_empty_queue(self, machine, gpu_queue):
+        machine.run_until(gpu_queue.finish_event())
+
+    def test_copy_buffer_command(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        a = gpu.create_buffer((8,), np.float32)
+        b = gpu.create_buffer((8,), np.float32)
+        gpu_queue.enqueue_write_buffer(a, np.full(8, 3.0, dtype=np.float32))
+        event = gpu_queue.enqueue_copy_buffer(a, b)
+        machine.run_until(event.done)
+        assert np.all(b.array == 3.0)
+
+    def test_callback_runs_in_order(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((1 << 20,), np.uint8)
+        log = []
+        gpu_queue.enqueue_write_buffer(buf, np.zeros(1 << 20, dtype=np.uint8))
+        event = gpu_queue.enqueue_callback(lambda _q: log.append(machine.now))
+        machine.run_until(event.done)
+        assert log and log[0] > 0
+
+
+class TestConcurrentQueues:
+    def test_two_queues_overlap_different_engines(self, machine, platform):
+        """A kernel-free transfer queue overlaps with compute-queue copies:
+        the whole point of FluidiCL's hd/dh queues (paper section 5.4)."""
+        gpu = platform.gpu
+        context = platform.create_context()
+        q1 = context.create_queue(gpu, "transfers")
+        q2 = context.create_queue(gpu, "compute")
+        big = np.zeros(32 << 20, dtype=np.uint8)
+        buf1 = gpu.create_buffer(big.shape, np.uint8)
+        buf2 = gpu.create_buffer((1 << 20,), np.float32)
+        buf3 = gpu.create_buffer((1 << 20,), np.float32)
+        write = q1.enqueue_write_buffer(buf1, big)
+        copy = q2.enqueue_copy_buffer(buf2, buf3)
+        machine.run_until(machine.engine.all_of([write.done, copy.done]))
+        # The copy (compute engine) must not wait for the h2d DMA transfer.
+        assert copy.finished < write.finished
+
+    def test_same_engine_contention_serializes(self, machine, platform):
+        gpu = platform.gpu
+        context = platform.create_context()
+        q1 = context.create_queue(gpu, "a")
+        q2 = context.create_queue(gpu, "b")
+        data = np.zeros(16 << 20, dtype=np.uint8)
+        buf1 = gpu.create_buffer(data.shape, np.uint8)
+        buf2 = gpu.create_buffer(data.shape, np.uint8)
+        w1 = q1.enqueue_write_buffer(buf1, data)
+        w2 = q2.enqueue_write_buffer(buf2, data)
+        machine.run_until(machine.engine.all_of([w1.done, w2.done]))
+        # Both use the single h2d DMA engine: total time is two transfers.
+        single = platform.gpu.transfer_time(data.nbytes)
+        assert max(w1.finished, w2.finished) >= 2 * single
+
+
+class TestEvents:
+    def test_profiling_timestamps(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((1 << 20,), np.uint8)
+        event = gpu_queue.enqueue_write_buffer(buf, np.zeros(1 << 20, dtype=np.uint8))
+        assert event.status is CommandStatus.QUEUED
+        machine.run_until(event.done)
+        assert event.status is CommandStatus.COMPLETE
+        assert event.queued <= event.started <= event.finished
+        assert event.duration > 0
+        assert event.latency >= event.duration
+
+    def test_duration_before_completion_raises(self, machine, gpu_queue):
+        event = gpu_queue.enqueue_marker()
+        with pytest.raises(RuntimeError):
+            _ = event.duration
+
+    def test_command_type_recorded(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((4,), np.float32)
+        event = gpu_queue.enqueue_write_buffer(buf, np.zeros(4, dtype=np.float32))
+        assert event.command_type is CommandType.WRITE_BUFFER
+
+    def test_transfer_stats_updated(self, machine, platform, gpu_queue):
+        gpu = platform.gpu
+        buf = gpu.create_buffer((1024,), np.uint8)
+        event = gpu_queue.enqueue_write_buffer(buf, np.zeros(1024, dtype=np.uint8))
+        machine.run_until(event.done)
+        assert gpu.stats["bytes_h2d"] == 1024

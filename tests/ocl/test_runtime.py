@@ -1,0 +1,102 @@
+"""End-to-end tests of the single-device vendor runtime."""
+
+import numpy as np
+import pytest
+
+from repro.hw.specs import DeviceKind
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import SingleDeviceRuntime
+
+from tests.conftest import make_scale_kernel
+
+
+def run_program(machine, kind, n=256, local=16):
+    runtime = SingleDeviceRuntime(machine, kind)
+    spec = make_scale_kernel(n, local)
+    x = np.arange(n, dtype=np.float32)
+    buf_x = runtime.create_buffer("x", (n,), np.float32)
+    buf_y = runtime.create_buffer("y", (n,), np.float32)
+    runtime.enqueue_write_buffer(buf_x, x)
+    runtime.enqueue_nd_range_kernel(
+        spec, NDRange(n, local), {"x": buf_x, "y": buf_y, "alpha": 3.0}
+    )
+    y = np.zeros(n, dtype=np.float32)
+    runtime.enqueue_read_buffer(buf_y, y)
+    runtime.finish()
+    return runtime, x, y
+
+
+@pytest.mark.parametrize("kind", [DeviceKind.GPU, DeviceKind.CPU])
+class TestSingleDeviceRuntime:
+    def test_correct_results(self, machine, kind):
+        _rt, x, y = run_program(machine, kind)
+        assert np.allclose(y, 3.0 * x)
+
+    def test_time_advances(self, machine, kind):
+        run_program(machine, kind)
+        assert machine.now > 0
+
+    def test_stats(self, machine, kind):
+        runtime, _x, _y = run_program(machine, kind)
+        assert runtime.stats.kernels_enqueued == 1
+        assert runtime.stats.writes == 1
+        assert runtime.stats.reads == 1
+
+
+class TestVersionHandling:
+    def test_multiple_versions_uses_first(self, machine):
+        runtime = SingleDeviceRuntime(machine, DeviceKind.GPU)
+        n = 64
+        base = make_scale_kernel(n)
+        alt = base.with_version("alt", base.body)
+        buf_x = runtime.create_buffer("x", (n,), np.float32)
+        buf_y = runtime.create_buffer("y", (n,), np.float32)
+        runtime.enqueue_write_buffer(buf_x, np.ones(n, dtype=np.float32))
+        runtime.enqueue_nd_range_kernel(
+            [base, alt], NDRange(n, 16), {"x": buf_x, "y": buf_y, "alpha": 2.0}
+        )
+        y = np.zeros(n, dtype=np.float32)
+        runtime.enqueue_read_buffer(buf_y, y)
+        runtime.finish()
+        assert np.all(y == 2.0)
+
+    def test_empty_version_list_rejected(self, machine):
+        runtime = SingleDeviceRuntime(machine, DeviceKind.GPU)
+        with pytest.raises(ValueError):
+            runtime._as_versions([])
+
+    def test_mismatched_names_rejected(self, machine):
+        runtime = SingleDeviceRuntime(machine, DeviceKind.GPU)
+        a = make_scale_kernel(64, name="a")
+        b = make_scale_kernel(64, name="b")
+        with pytest.raises(ValueError):
+            runtime._as_versions([a, b])
+
+
+class TestDeviceChoice:
+    def test_gpu_faster_for_gpu_friendly_kernel(self):
+        from repro.hw.machine import build_machine
+
+        times = {}
+        for kind in (DeviceKind.GPU, DeviceKind.CPU):
+            machine = build_machine()
+            # gpu_eff high, cpu_eff low
+            runtime = SingleDeviceRuntime(machine, kind)
+            n = 64 * 256
+            spec = make_scale_kernel(n, gpu_eff=0.9, cpu_eff=0.1)
+            buf_x = runtime.create_buffer("x", (n,), np.float32)
+            buf_y = runtime.create_buffer("y", (n,), np.float32)
+            runtime.enqueue_write_buffer(buf_x, np.ones(n, dtype=np.float32))
+            runtime.enqueue_nd_range_kernel(
+                spec, NDRange(n, 16), {"x": buf_x, "y": buf_y, "alpha": 1.0}
+            )
+            runtime.finish()
+            times[kind] = machine.now
+        assert times[DeviceKind.GPU] < times[DeviceKind.CPU]
+
+    def test_release_frees_buffers(self, machine):
+        runtime, _x, _y = run_program(machine, DeviceKind.GPU)
+        used = runtime.device.memory.used
+        assert used > 0
+        runtime.release()
+        assert runtime.device.memory.used == 0

@@ -1,0 +1,165 @@
+"""Sanity checks tying each benchmark's cost model to its actual math.
+
+The analytic costs drive all timing; if a kernel's declared FLOPs drift
+from the operation count its NumPy body performs, every figure lies.
+These tests pin total modeled work to closed-form operation counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.polybench.bicg import bicg_kernel1, bicg_kernel2, ROWS_PER_GROUP as BICG_R
+from repro.polybench.corr import corr_kernel, corr_kernel_cpu_tuned, TILE as CORR_TILE
+from repro.polybench.gemm import gemm_kernel
+from repro.polybench.gesummv import gesummv_kernel, ROWS_PER_GROUP as GES_R
+from repro.polybench.syr2k import syr2k_kernel, TILE as S2_TILE
+from repro.polybench.syrk import gpu_compute_efficiency, syrk_kernel, TILE as S_TILE
+from repro.polybench.twomm import TILE as MM_TILE, mm1_kernel, mm2_kernel
+
+N = 512
+
+
+def total_flops(spec, groups):
+    return spec.cost.flops * groups
+
+
+class TestFlopAccounting:
+    def test_gemm_total_flops(self):
+        spec = gemm_kernel(N)
+        groups = (N // MM_TILE) ** 2
+        assert total_flops(spec, groups) == pytest.approx(2 * N**3)
+
+    def test_2mm_each_kernel_is_one_matmul(self):
+        groups = (N // MM_TILE) ** 2
+        assert total_flops(mm1_kernel(N), groups) == pytest.approx(2 * N**3)
+        assert total_flops(mm2_kernel(N), groups) == pytest.approx(2 * N**3)
+
+    def test_syrk_total_flops(self):
+        spec = syrk_kernel(N)
+        groups = (N // S_TILE) ** 2
+        assert total_flops(spec, groups) == pytest.approx(2 * N**3)
+
+    def test_syr2k_is_twice_syrk(self):
+        syrk_total = total_flops(syrk_kernel(N), (N // S_TILE) ** 2)
+        syr2k_total = total_flops(syr2k_kernel(N), (N // S2_TILE) ** 2)
+        assert syr2k_total == pytest.approx(2 * syrk_total)
+
+    def test_bicg_matvec_flops(self):
+        groups = N // BICG_R
+        assert total_flops(bicg_kernel1(N), groups) == pytest.approx(2 * N**2)
+        assert total_flops(bicg_kernel2(N), groups) == pytest.approx(2 * N**2)
+
+    def test_gesummv_two_matvecs(self):
+        spec = gesummv_kernel(N)
+        groups = N // GES_R
+        assert total_flops(spec, groups) == pytest.approx(4 * N**2)
+
+    def test_corr_matmul_flops(self):
+        spec = corr_kernel(N)
+        groups = (N // CORR_TILE) ** 2
+        assert total_flops(spec, groups) == pytest.approx(2 * N**3)
+
+
+class TestByteAccounting:
+    @pytest.mark.parametrize("factory,groups_of", [
+        (gemm_kernel, lambda n: (n // MM_TILE) ** 2),
+        (syrk_kernel, lambda n: (n // S_TILE) ** 2),
+        (bicg_kernel1, lambda n: n // BICG_R),
+        (gesummv_kernel, lambda n: n // GES_R),
+    ])
+    def test_reads_at_least_the_streamed_operands(self, factory, groups_of):
+        spec = factory(N)
+        total_read = spec.cost.bytes_read * groups_of(N)
+        # Each kernel streams at least one full N x N float32 matrix.
+        assert total_read >= N * N * 4
+
+    def test_writes_positive(self):
+        for spec in (gemm_kernel(N), syrk_kernel(N), bicg_kernel1(N)):
+            assert spec.cost.bytes_written > 0
+
+
+class TestAffinityCalibration:
+    """The relative device speeds each benchmark was calibrated to."""
+
+    def _whole_kernel_seconds(self, spec, groups, device_spec):
+        from repro.hw.cost import wg_time
+
+        waves = -(-groups // device_spec.concurrent_workgroups)
+        return waves * wg_time(spec.cost, device_spec)
+
+    def test_gemm_gpu_dominant(self):
+        from repro.hw.specs import TESLA_C2070, XEON_W3550
+
+        groups = (N // MM_TILE) ** 2
+        gpu = self._whole_kernel_seconds(gemm_kernel(N), groups, TESLA_C2070)
+        cpu = self._whole_kernel_seconds(gemm_kernel(N), groups, XEON_W3550)
+        assert cpu / gpu > 4
+
+    def test_gesummv_cpu_dominant(self):
+        from repro.hw.specs import TESLA_C2070, XEON_W3550
+
+        groups = N // GES_R
+        gpu = self._whole_kernel_seconds(gesummv_kernel(N), groups, TESLA_C2070)
+        cpu = self._whole_kernel_seconds(gesummv_kernel(N), groups, XEON_W3550)
+        assert gpu / cpu > 2
+
+    def test_bicg_kernels_oppose(self):
+        from repro.hw.specs import TESLA_C2070, XEON_W3550
+
+        groups = N // BICG_R
+        k1_gpu = self._whole_kernel_seconds(bicg_kernel1(N), groups, TESLA_C2070)
+        k1_cpu = self._whole_kernel_seconds(bicg_kernel1(N), groups, XEON_W3550)
+        k2_gpu = self._whole_kernel_seconds(bicg_kernel2(N), groups, TESLA_C2070)
+        k2_cpu = self._whole_kernel_seconds(bicg_kernel2(N), groups, XEON_W3550)
+        assert k1_gpu < k1_cpu
+        assert k2_cpu < k2_gpu
+
+    def test_syrk_balanced_at_small_and_cpu_lean_at_large(self):
+        from repro.hw.specs import TESLA_C2070, XEON_W3550
+
+        def ratio(n):
+            spec = syrk_kernel(n)
+            groups = (n // S_TILE) ** 2
+            gpu = self._whole_kernel_seconds(spec, groups, TESLA_C2070)
+            cpu = self._whole_kernel_seconds(spec, groups, XEON_W3550)
+            return cpu / gpu
+
+        assert 0.9 < ratio(768) < 2.0      # same performance class
+        assert ratio(2048) < ratio(768)    # CPU relatively better when big
+
+    def test_syrk_gpu_efficiency_decays_with_size(self):
+        assert gpu_compute_efficiency(2048) < gpu_compute_efficiency(768)
+
+    def test_corr_tuned_cpu_kernel_is_faster_on_cpu(self):
+        from repro.hw.cost import wg_time
+        from repro.hw.specs import XEON_W3550
+
+        base = wg_time(corr_kernel(N).cost, XEON_W3550)
+        tuned = wg_time(corr_kernel_cpu_tuned(N).cost, XEON_W3550)
+        assert tuned < base / 3
+
+    def test_tuned_corr_same_signature(self):
+        base = corr_kernel(N)
+        tuned = corr_kernel_cpu_tuned(N)
+        assert base.name == tuned.name
+        assert [a.name for a in base.args] == [a.name for a in tuned.args]
+        assert tuned.version != base.version
+
+
+class TestBodiesMatchCosts:
+    def test_gemm_body_computes_declared_tile(self):
+        """The body must do the work the cost model charges for."""
+        from repro.kernels.dsl import WorkGroupContext
+
+        spec = gemm_kernel(64)
+        a = np.random.default_rng(0).standard_normal((64, 64)).astype(np.float32)
+        b = np.random.default_rng(1).standard_normal((64, 64)).astype(np.float32)
+        c = np.zeros((64, 64), dtype=np.float32)
+        ctx = WorkGroupContext(
+            (1, 0), (2, 2), (32, 32),
+            {"A": a, "B": b, "C": c, "alpha": 1.0, "beta": 0.0},
+        )
+        spec.body(ctx)
+        expected = a[0:32] @ b[:, 32:64]
+        assert np.allclose(c[0:32, 32:64], expected, atol=1e-4)
+        assert np.all(c[32:, :] == 0)

@@ -1,0 +1,70 @@
+"""Tests for the suite registry and Table 2 metadata."""
+
+import pytest
+
+from repro.polybench import PAPER_SUITE, EXTENDED_SUITE, make_app, suite_table
+from repro.polybench.suite import SCALES
+
+
+class TestRegistry:
+    def test_paper_suite_composition(self):
+        assert PAPER_SUITE == ("2mm", "bicg", "corr", "gesummv", "syrk", "syr2k")
+
+    def test_extended_superset(self):
+        assert set(PAPER_SUITE) < set(EXTENDED_SUITE)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            make_app("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            make_app("syrk", "huge")
+
+    def test_scales_cover_all_benchmarks(self):
+        for scale, sizes in SCALES.items():
+            for name in EXTENDED_SUITE:
+                assert name in sizes, f"{name} missing from scale {scale}"
+
+    def test_test_scale_smaller_than_paper(self):
+        for name in EXTENDED_SUITE:
+            assert SCALES["test"][name] < SCALES["paper"][name]
+
+
+class TestTable2:
+    def test_rows_match_suite(self):
+        rows = suite_table("test")
+        assert len(rows) == len(PAPER_SUITE)
+        names = [row[0].lower() for row in rows]
+        assert names == list(PAPER_SUITE)
+
+    def test_extended_rows(self):
+        assert len(suite_table("test", extended=True)) == len(EXTENDED_SUITE)
+
+    def test_kernel_counts(self):
+        counts = {row[0].lower(): row[2] for row in suite_table("test")}
+        assert counts["2mm"] == 2
+        assert counts["bicg"] == 2
+        assert counts["corr"] == 4
+        assert counts["gesummv"] == 1
+        assert counts["syrk"] == 1
+        assert counts["syr2k"] == 1
+
+
+class TestKernelMetas:
+    @pytest.mark.parametrize("name", EXTENDED_SUITE)
+    def test_metas_consistent_with_host_program(self, name):
+        """kernel_metas() must describe exactly the launches the host
+        program performs."""
+        from repro.hw.machine import build_machine
+        from repro.hw.specs import DeviceKind
+        from repro.ocl.runtime import SingleDeviceRuntime
+
+        app = make_app(name, "test")
+        machine = build_machine()
+        runtime = SingleDeviceRuntime(machine, DeviceKind.GPU)
+        app.execute(runtime, check=False)
+        metas = app.kernel_metas()
+        assert runtime.stats.kernels_enqueued == len(metas)
+        for meta in metas:
+            assert meta.work_groups == meta.ndrange.total_groups

@@ -1,0 +1,58 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_records_accumulate_in_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", {"k": 1})
+        tracer.record(2.0, "b", {"k": 2})
+        assert len(tracer) == 2
+        assert [r.time for r in tracer] == [1.0, 2.0]
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x", {})
+        tracer.record(1.0, "y", {})
+        tracer.record(2.0, "x", {})
+        assert len(tracer.by_category("x")) == 2
+
+    def test_categories_preserve_first_seen_order(self):
+        tracer = Tracer()
+        for category in ("b", "a", "b", "c"):
+            tracer.record(0.0, category, {})
+        assert tracer.categories() == ["b", "a", "c"]
+
+    def test_payload_copied(self):
+        tracer = Tracer()
+        payload = {"k": 1}
+        tracer.record(0.0, "x", payload)
+        payload["k"] = 99
+        assert tracer.records[0]["k"] == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x", {})
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_spans_pairing(self):
+        tracer = Tracer()
+        tracer.record(1.0, "start", {"id": "a"})
+        tracer.record(2.0, "start", {"id": "b"})
+        tracer.record(3.0, "end", {"id": "a"})
+        tracer.record(4.0, "end", {"id": "b"})
+        spans = tracer.spans("start", "end", "id")
+        assert [(s.time, e.time) for s, e in spans] == [(1.0, 3.0), (2.0, 4.0)]
+
+    def test_spans_skip_records_without_key(self):
+        tracer = Tracer()
+        tracer.record(1.0, "start", {"id": "a"})
+        tracer.record(1.5, "start", {"other": 1})
+        tracer.record(2.0, "end", {"id": "a"})
+        assert len(tracer.spans("start", "end", "id")) == 1
+
+    def test_record_getitem(self):
+        record = TraceRecord(0.0, "x", {"key": "value"})
+        assert record["key"] == "value"

@@ -1,0 +1,76 @@
+"""The top-level public API stays importable and coherent."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        """The README's four-line quickstart must keep working."""
+        runtime = repro.FluidiCLRuntime(repro.build_machine())
+        from repro.polybench import GemmApp
+
+        result = GemmApp(n=128).execute(runtime)
+        assert result.correct
+
+    def test_runtimes_share_interface(self):
+        for name in ("create_buffer", "enqueue_write_buffer",
+                     "enqueue_nd_range_kernel", "enqueue_read_buffer",
+                     "finish", "release"):
+            assert hasattr(repro.FluidiCLRuntime, name)
+            assert hasattr(repro.SingleDeviceRuntime, name)
+
+
+class TestDtypeGenerality:
+    """FluidiCL must be dtype-agnostic: merge granularity follows the
+    buffer's element type (paper section 4.3's stored type metadata)."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32,
+                                       np.int64])
+    def test_cooperative_execution_any_dtype(self, dtype):
+        from repro.hw.cost import WorkGroupCost
+        from repro.kernels.dsl import Intent
+
+        n, local = 2048, 16
+
+        def body(ctx):
+            rows = ctx.rows()
+            ctx["y"][rows] = ctx["x"][rows] * 3
+
+        spec = repro.KernelSpec(
+            name="triple",
+            args=(repro.buffer_arg("x"), repro.buffer_arg("y", Intent.OUT)),
+            body=body,
+            cost=WorkGroupCost(
+                flops=local * 32.0,
+                bytes_read=local * 8 * 64.0,
+                bytes_written=local * 8 * 64.0,
+                loop_iters=16,
+                compute_efficiency={"cpu": 0.6, "gpu": 0.4},
+                memory_efficiency={"cpu": 0.6, "gpu": 0.4},
+            ),
+        )
+        runtime = repro.FluidiCLRuntime(repro.build_machine())
+        if np.issubdtype(dtype, np.integer):
+            x = np.arange(n).astype(dtype)
+        else:
+            x = (np.arange(n) * 0.5).astype(dtype)
+        buf_x = runtime.create_buffer("x", (n,), dtype)
+        buf_y = runtime.create_buffer("y", (n,), dtype)
+        runtime.enqueue_write_buffer(buf_x, x)
+        runtime.enqueue_nd_range_kernel(
+            spec, repro.NDRange(n, local), {"x": buf_x, "y": buf_y}
+        )
+        y = np.zeros(n, dtype=dtype)
+        runtime.enqueue_read_buffer(buf_y, y)
+        runtime.finish()
+        np.testing.assert_array_equal(y, x * 3)

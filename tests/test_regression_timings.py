@@ -1,0 +1,112 @@
+"""Timing-model regression pins.
+
+The simulator is deterministic, so key modeled quantities can be pinned
+tightly.  These are *model* regressions, not correctness tests: if one
+fails after an intentional cost-model change, re-derive the expectation
+and update EXPERIMENTS.md alongside it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.cost import wg_time
+from repro.hw.machine import build_machine
+from repro.hw.specs import PCIE_GEN2_X16, TESLA_C2070, XEON_W3550
+from repro.ocl.ndrange import NDRange
+from repro.ocl.platform import Platform
+
+from tests.conftest import make_scale_kernel
+
+
+class TestAnalyticPins:
+    def test_pcie_transfer_of_64mib(self):
+        seconds = PCIE_GEN2_X16.transfer_time(64 * 2**20)
+        assert seconds == pytest.approx(0.011995, rel=1e-3)
+
+    def test_gpu_wave_throughput_at_full_efficiency(self):
+        """A full wave of bandwidth-bound groups streams at device peak."""
+        spec = make_scale_kernel(112 * 16, gpu_eff=1.0)
+        per_group = wg_time(spec.cost, TESLA_C2070)
+        bytes_per_group = spec.cost.bytes_total
+        achieved = 112 * bytes_per_group / per_group
+        assert achieved == pytest.approx(TESLA_C2070.mem_bandwidth, rel=1e-6)
+
+    def test_cpu_wave_throughput_at_full_efficiency(self):
+        spec = make_scale_kernel(8 * 16, cpu_eff=1.0)
+        per_group = wg_time(spec.cost, XEON_W3550)
+        achieved = 8 * spec.cost.bytes_total / per_group
+        assert achieved == pytest.approx(XEON_W3550.mem_bandwidth, rel=1e-6)
+
+    def test_device_bandwidth_ratio(self):
+        assert TESLA_C2070.mem_bandwidth / XEON_W3550.mem_bandwidth == (
+            pytest.approx(5.625)
+        )
+
+
+class TestEndToEndPins:
+    def test_single_device_kernel_time_formula(self):
+        """GPU kernel over G groups = launch + ceil(G/112) waves."""
+        machine = build_machine()
+        platform = Platform(machine)
+        gpu = platform.gpu
+        queue = platform.create_context().create_queue(gpu)
+        groups, local = 300, 16
+        spec = make_scale_kernel(groups * local)
+        from repro.kernels.transforms import plain_variant
+        from repro.ocl.kernel import Kernel
+
+        x = gpu.create_buffer((groups * local,), np.float32)
+        y = gpu.create_buffer((groups * local,), np.float32)
+        kernel = Kernel(plain_variant(spec), {"x": x, "y": y, "alpha": 1.0})
+        event = queue.enqueue_nd_range_kernel(kernel, NDRange(groups * local, local))
+        machine.run_until(event.done)
+        waves = -(-groups // 112)
+        expected = (
+            gpu.spec.kernel_launch_overhead
+            + waves * (gpu.spec.wave_overhead + wg_time(spec.cost, gpu.spec))
+        )
+        assert event.duration == pytest.approx(expected, rel=1e-9)
+
+    def test_fluidicl_determinism_pin(self):
+        """Bit-identical repeated runs: same simulated nanosecond."""
+        from repro.core.runtime import FluidiCLRuntime
+
+        def run_once():
+            machine = build_machine()
+            runtime = FluidiCLRuntime(machine)
+            n = 8192
+            spec = make_scale_kernel(n, gpu_eff=0.4, cpu_eff=0.6,
+                                     work_scale=32.0)
+            x = np.ones(n, dtype=np.float32)
+            buf_x = runtime.create_buffer("x", (n,), np.float32)
+            buf_y = runtime.create_buffer("y", (n,), np.float32)
+            runtime.enqueue_write_buffer(buf_x, x)
+            runtime.enqueue_nd_range_kernel(
+                spec, NDRange(n, 16), {"x": buf_x, "y": buf_y, "alpha": 2.0}
+            )
+            out = np.zeros(n, dtype=np.float32)
+            runtime.enqueue_read_buffer(buf_y, out)
+            runtime.finish()
+            return machine.now
+
+        assert run_once() == run_once()
+
+    def test_suite_regime_pins(self):
+        """Each paper benchmark stays in its calibrated regime at paper
+        scale: the winning device must not flip under refactors."""
+        from repro.harness.runner import single_device_times
+        from repro.polybench import make_app
+
+        expectations = {
+            "2mm": "gpu", "corr": "gpu",
+            "bicg": "cpu", "gesummv": "cpu",
+            "syrk": "gpu", "syr2k": "gpu",
+        }
+        for name, winner in expectations.items():
+            app = make_app(name, "paper")
+            times = single_device_times(app, check=False)
+            actual = min(times, key=times.get)
+            assert actual == winner, (
+                f"{name}: expected {winner}-favored, got {actual} "
+                f"(cpu={times['cpu']:.4f}s gpu={times['gpu']:.4f}s)"
+            )
