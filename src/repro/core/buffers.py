@@ -48,6 +48,20 @@ class FluidiBuffer:
         #: completion event of the last host/DH write targeting the CPU copy;
         #: reads issued on the separate CPU I/O queue synchronize on it
         self.last_cpu_write = None
+        #: completion event of the last CPU *subkernel* that writes this
+        #: buffer's CPU copy.  Subkernels run on the in-order ``cpu_queue``
+        #: but host reads travel on ``cpu_io_queue``, so without an explicit
+        #: dependency a read could observe a half-written CPU copy while a
+        #: (possibly stale) subkernel is still executing (§5.3).
+        self.last_cpu_kernel_write = None
+
+    def quiesce_events(self):
+        """Events a CPU-copy reader must wait on before touching ``cpu``."""
+        events = []
+        for cl_event in (self.last_cpu_write, self.last_cpu_kernel_write):
+            if cl_event is not None and not cl_event.is_complete:
+                events.append(cl_event.done)
+        return events
 
     # -- geometry -------------------------------------------------------------
     @property

@@ -54,12 +54,16 @@ class BufferPool:
             buffer = bucket.pop()
             self._in_use.append(buffer)
             self.hits += 1
+            self.device.engine.trace("pool_hit", label=label,
+                                     nbytes=buffer.nbytes)
             return buffer, 0.0
         buffer = self.device.create_buffer(
             key[0], key[1], MemFlag.READ_WRITE, name=f"{label}{len(self._in_use)}"
         )
         self._in_use.append(buffer)
         self.misses += 1
+        self.device.engine.trace("pool_miss", label=label,
+                                 nbytes=buffer.nbytes)
         return buffer, self.allocation_time(buffer.nbytes)
 
     def release(self, buffer: Buffer) -> None:

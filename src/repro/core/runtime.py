@@ -25,6 +25,7 @@ from repro.core.buffers import FluidiBuffer
 from repro.core.config import FluidiCLConfig
 from repro.core.merge import build_merge_kernel, merge_ndrange
 from repro.core.pool import BufferPool
+from repro.obs.metrics import MetricsRegistry
 from repro.core.profiling_opt import OnlineKernelProfiler
 from repro.core.scheduler import CpuScheduler
 from repro.core.stats import KernelRecord
@@ -100,12 +101,25 @@ class FluidiCLRuntime(AbstractRuntime):
         self.buffers: List[FluidiBuffer] = []
         self.records: List[KernelRecord] = []
         self._dh_processes: List[Any] = []
+        #: completion events of merge/commit work in flight on ``app_queue``;
+        #: :meth:`finish` and :meth:`drain` wait on (and then prune) these
+        self._pending_commits: List[Any] = []
+        # Typed per-run metrics; ``stats.extra`` stays a live mapping view
+        # over the counters so existing consumers keep reading the same
+        # names.
+        self.metrics = MetricsRegistry()
+        self.stats.extra = self.metrics.counter_view()
         self.stats.extra.update(
             gpu_input_refreshes=0,
             reads_from_cpu=0,
             reads_from_gpu=0,
             stale_dh_discards=0,
             merges=0,
+            subkernels_launched=0,
+            status_messages=0,
+            kernels_cpu_complete=0,
+            kernels_merged=0,
+            kernels_gpu_only=0,
         )
 
     # ------------------------------------------------------------------
@@ -151,19 +165,33 @@ class FluidiCLRuntime(AbstractRuntime):
             self.config.location_tracking or not handle.gpu_current
         )
         if use_cpu_copy:
-            if handle.last_cpu_write is not None and not handle.last_cpu_write.is_complete:
-                self.machine.run_until(handle.last_cpu_write.done)
+            # The CPU copy is written by host/DH writes *and* by CPU
+            # subkernels on the in-order ``cpu_queue``; the read travels on
+            # ``cpu_io_queue``, so it must carry explicit dependencies on
+            # both kinds of writer — a stale subkernel may still be
+            # executing even though the version tracking says "current".
+            self._quiesce_cpu_copy(handle)
             event = self.cpu_io_queue.enqueue_read_buffer(handle.cpu, host_array)
             self.stats.extra["reads_from_cpu"] += 1
+            source = "cpu"
         elif handle.gpu_current:
             event = self.dh_queue.enqueue_read_buffer(handle.gpu, host_array)
             self.stats.extra["reads_from_gpu"] += 1
+            source = "gpu"
         else:
             raise RuntimeError(
                 f"buffer {handle.name!r} has no coherent copy anywhere"
             )
+        self.engine.trace("buffer_read", buffer=handle.name, source=source,
+                          nbytes=handle.nbytes)
         self.machine.run_until(event.done)
         self.stats.reads += 1
+
+    def _quiesce_cpu_copy(self, handle: FluidiBuffer) -> None:
+        """Wait until every in-flight writer of ``handle.cpu`` has finished."""
+        pending = handle.quiesce_events()
+        if pending:
+            self.machine.run_until(self.engine.all_of(pending))
 
     def finish(self) -> None:
         """``clFinish`` on the application-visible work.
@@ -181,7 +209,13 @@ class FluidiCLRuntime(AbstractRuntime):
             self.hd_queue.finish_event(),
             self.dh_queue.finish_event(),
         ]
+        # Merge/commit work is enqueued on ``app_queue`` by
+        # ``_merge_and_commit``; its completion events are tracked
+        # explicitly so ``finish`` covers a commit that is still in flight
+        # regardless of how it was enqueued relative to this marker.
+        events += [e for e in self._pending_commits if not e.triggered]
         self.machine.run_until(self.engine.all_of(events))
+        self._prune_background()
 
     def drain(self) -> None:
         """Wait for every queue and background thread to go idle."""
@@ -190,10 +224,23 @@ class FluidiCLRuntime(AbstractRuntime):
             self.hd_queue.finish_event(),
             self.dh_queue.finish_event(),
             self.cpu_queue.finish_event(),
+            self.cpu_io_queue.finish_event(),
         ]
+        events += [e for e in self._pending_commits if not e.triggered]
         pending = [p for p in self._dh_processes if not p.triggered]
         self.machine.run_until(self.engine.all_of(events + pending))
+        self._prune_background()
+
+    def _prune_background(self) -> None:
+        """Drop completed dh-threads and commit events from the books.
+
+        Without this, a ``finish()``-only workload (the common host-program
+        shape) accumulates one triggered process per kernel for the life of
+        the runtime.
+        """
         self._dh_processes = [p for p in self._dh_processes if not p.triggered]
+        self._pending_commits = [e for e in self._pending_commits
+                                 if not e.triggered]
 
     def release(self) -> None:
         self.pool.drain()
@@ -215,6 +262,8 @@ class FluidiCLRuntime(AbstractRuntime):
             total_groups=ndrange.total_groups,
             start_time=self.now,
         )
+        self.engine.trace("kernel_begin", kernel=base.name,
+                          kernel_id=kernel_id, groups=ndrange.total_groups)
 
         arg_fbuffers = self._arg_fbuffers(base, args)
         out_fbuffers = [args[a.name] for a in base.out_args]
@@ -260,6 +309,16 @@ class FluidiCLRuntime(AbstractRuntime):
             self._merge_and_commit(plan)
 
         record.end_time = self.now
+        path = ("cpu-complete" if record.cpu_completed_all
+                else "merged" if record.merged else "gpu-only")
+        self.stats.extra[f"kernels_{path.replace('-', '_')}"] += 1
+        self.metrics.histogram("kernel_seconds").observe(record.duration)
+        self.metrics.histogram("cpu_share").observe(record.cpu_share)
+        self.engine.trace(
+            "kernel_end", kernel=record.name, kernel_id=kernel_id,
+            gpu_groups=record.gpu_groups, cpu_groups=record.cpu_groups,
+            path=path,
+        )
         self.pool.trim()
         self.records.append(record)
         self.stats.kernels_enqueued += 1
@@ -293,10 +352,16 @@ class FluidiCLRuntime(AbstractRuntime):
                 raise RuntimeError(
                     f"buffer {fbuf.name!r} stale on both devices"
                 )
+            # The previous writer committed on the CPU, but a *stale*
+            # subkernel targeting this buffer may still be executing on the
+            # in-order cpu_queue; quiesce before snapshotting host-side.
+            self._quiesce_cpu_copy(fbuf)
             snapshot = fbuf.cpu.snapshot()
             self.app_queue.enqueue_write_buffer(fbuf.gpu, snapshot)
             fbuf.mark_gpu_refreshed(fbuf.latest)
             self.stats.extra["gpu_input_refreshes"] += 1
+            self.engine.trace("gpu_input_refresh", buffer=fbuf.name,
+                              version=fbuf.latest, nbytes=fbuf.nbytes)
 
     def _prepare_plan(self, kernel_id, specs, ndrange, args, out_fbuffers,
                       record, required_cpu_versions) -> _KernelPlan:
@@ -353,6 +418,8 @@ class FluidiCLRuntime(AbstractRuntime):
         record.cpu_groups = plan.ndrange.total_groups
         for fbuf in plan.out_fbuffers:
             fbuf.commit_cpu(plan.kernel_id)
+        self.engine.trace("commit", kernel_id=plan.kernel_id,
+                          path="cpu-complete")
         self._release_helpers_after_hd_drain(plan)
 
     def _merge_and_commit(self, plan: _KernelPlan) -> None:
@@ -363,6 +430,11 @@ class FluidiCLRuntime(AbstractRuntime):
         if plan.board.cpu_completed_groups > 0:
             for fbuf in plan.out_fbuffers:
                 self._enqueue_merge(plan, fbuf)
+                self.engine.trace(
+                    "merge_enqueued", kernel_id=plan.kernel_id,
+                    buffer=fbuf.name,
+                    cpu_groups=plan.board.cpu_completed_groups,
+                )
             record.merged = True
             self.stats.extra["merges"] += len(plan.out_fbuffers)
 
@@ -380,10 +452,17 @@ class FluidiCLRuntime(AbstractRuntime):
             self.app_queue.enqueue_copy_buffer(fbuf.gpu, readback[fbuf.name])
 
         # The blocking kernel call returns once the merged result exists.
-        self.machine.run_until(self.app_queue.finish_event())
+        # The commit marker is also tracked in ``_pending_commits`` so that
+        # ``finish``/``drain`` account for merge work on ``app_queue`` even
+        # if a future path stops blocking here.
+        commit_done = self.app_queue.finish_event()
+        self._pending_commits.append(commit_done)
+        self.machine.run_until(commit_done)
         for fbuf in plan.out_fbuffers:
             fbuf.commit_gpu(plan.kernel_id)
             fbuf.dh_pending = True
+        self.engine.trace("commit", kernel_id=plan.kernel_id,
+                          path="merged" if record.merged else "gpu-only")
 
         self._spawn_dh_thread(plan, readback)
         self._release_helpers_after_hd_drain(plan)
@@ -412,6 +491,10 @@ class FluidiCLRuntime(AbstractRuntime):
     def _dh_thread(self, plan: _KernelPlan, readback: Dict[str, Buffer]):
         yield self.engine.timeout(self.machine.host.thread_spawn_overhead)
         kernel_id = plan.kernel_id
+        self.engine.trace("dh_readback_begin", kernel=plan.record.name,
+                          kernel_id=kernel_id,
+                          buffers=len(plan.out_fbuffers))
+        delivered = 0
         for fbuf in plan.out_fbuffers:
             staging_buffer = readback[fbuf.name]
             host_staging = np.empty(fbuf.shape, dtype=fbuf.dtype)
@@ -427,12 +510,20 @@ class FluidiCLRuntime(AbstractRuntime):
                 yield write_event.done
                 if fbuf.latest == kernel_id:
                     fbuf.mark_cpu_refreshed(kernel_id)
+                    delivered += 1
                 else:
-                    self.stats.extra["stale_dh_discards"] += 1
+                    self._discard_stale_dh(kernel_id, fbuf)
             else:
                 # The buffer was rewritten meanwhile; discard (§5.3).
-                self.stats.extra["stale_dh_discards"] += 1
+                self._discard_stale_dh(kernel_id, fbuf)
             self.pool.release(staging_buffer)
+        self.engine.trace("dh_readback_end", kernel=plan.record.name,
+                          kernel_id=kernel_id, delivered=delivered)
+
+    def _discard_stale_dh(self, kernel_id: int, fbuf: FluidiBuffer) -> None:
+        self.stats.extra["stale_dh_discards"] += 1
+        self.engine.trace("stale_dh_discard", kernel_id=kernel_id,
+                          buffer=fbuf.name, superseded_by=fbuf.latest)
 
     def _release_helpers_after_hd_drain(self, plan: _KernelPlan) -> None:
         """Return cpu_in/orig buffers to the pool once in-flight CPU sends

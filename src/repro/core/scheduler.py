@@ -91,16 +91,37 @@ class CpuScheduler:
             event = runtime.cpu_queue.enqueue_nd_range_kernel(
                 kernel, plan.ndrange, launch
             )
+            # Host reads of the CPU copies travel on a separate queue; they
+            # must synchronize on this (possibly stale) subkernel's writes.
+            for fbuf in plan.out_fbuffers:
+                fbuf.last_cpu_kernel_write = event
+            engine.trace(
+                "subkernel_launch", kernel=spec.name,
+                kernel_id=plan.kernel_id, fid_start=start,
+                fid_end=self.frontier, chunk=chunk,
+                launched_groups=launch_geometry.launched_groups,
+                surplus_groups=launch_geometry.surplus_groups,
+                version=spec.version, probing=profiler.probing,
+            )
+            runtime.stats.extra["subkernels_launched"] += 1
             yield event.done
             elapsed = engine.now - began
 
+            # §5.1/§5.2: the covering slice *executed*
+            # ``launched_groups = chunk + surplus``, so the observed time
+            # must be normalized by what actually ran — feeding only the
+            # requested chunk overestimates seconds-per-work-group and
+            # stalls the adaptive growth (and the §6.6 version choice) on
+            # multi-dimensional ranges.
+            executed_groups = launch_geometry.launched_groups
             plan.record.subkernels += 1
             plan.record.chunks.append(chunk)
             plan.record.cpu_groups_executed += chunk
+            runtime.metrics.histogram("subkernel_seconds").observe(elapsed)
             if profiler.probing:
-                profiler.observe(elapsed / chunk)
+                profiler.observe(elapsed / executed_groups)
             else:
-                chunker.observe(chunk, elapsed)
+                chunker.observe(executed_groups, elapsed)
             if profiler.chosen is not None:
                 plan.record.version_used = profiler.chosen.version
 
@@ -145,7 +166,14 @@ class CpuScheduler:
         )
 
         def deliver_status(_queue, value=frontier):
-            board.update(engine.now, value)
+            accepted = board.update(engine.now, value)
+            engine.trace(
+                "status_delivery", kernel_id=plan.kernel_id,
+                frontier=value, accepted=accepted,
+                cpu_completed=board.total_groups - value,
+            )
+            if accepted:
+                runtime.stats.extra["status_messages"] += 1
 
         runtime.hd_queue.enqueue_callback(
             deliver_status,

@@ -1,4 +1,11 @@
-"""Regenerate every table/figure: ``python -m repro.harness [ids...]``."""
+"""Regenerate every table/figure: ``python -m repro.harness [ids...]``.
+
+Subcommands:
+
+- ``python -m repro.harness trace [--smoke] [--app NAME] [--out PATH]`` —
+  run one benchmark under FluidiCL and export its execution timeline as
+  Chrome-trace JSON (see :mod:`repro.harness.trace_cli`).
+"""
 
 from __future__ import annotations
 
@@ -8,12 +15,21 @@ import time
 
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.harness.extensions import EXTENSION_EXPERIMENTS
+from repro.harness.trace_cli import trace_main
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the FluidiCL paper's tables and figures.",
+        epilog=(
+            "Subcommand: 'trace' exports a Chrome-trace timeline of one "
+            "FluidiCL run (python -m repro.harness trace --help)."
+        ),
     )
     parser.add_argument(
         "experiments", nargs="*", default=list(ALL_EXPERIMENTS),

@@ -116,7 +116,9 @@ def kernel_device_times(app: PolybenchApp, kind: DeviceKind,
     runtime = SingleDeviceRuntime(machine, kind)
     app.execute(runtime, inputs=inputs, check=False)
     times: Dict[str, float] = {}
-    for start, end in machine.tracer.spans("cmd_start", "cmd_end", "kernel"):
-        name = start["kernel"]
-        times[name] = times.get(name, 0.0) + (end.time - start.time)
+    for span in machine.tracer.command_spans():
+        name = span.attrs.get("kernel")
+        if name is None:
+            continue
+        times[name] = times.get(name, 0.0) + span.duration
     return times

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.recorder import EventRecorder
 from repro.sim.trace import Tracer
 
 __all__ = ["Span", "extract_spans", "overlap_seconds", "render_gantt"]
@@ -49,7 +50,35 @@ def _label(payload: Dict) -> str:
 
 
 def extract_spans(tracer: Tracer, kinds: Optional[List[str]] = None) -> List[Span]:
-    """Pair cmd_start/cmd_end trace records into spans, per queue."""
+    """Queue-command execution spans, one per executed command.
+
+    When given an :class:`~repro.obs.recorder.EventRecorder` (what
+    ``build_machine(trace=True)`` installs), spans come from the typed
+    event stream — the same stream the Chrome-trace export reads, so the
+    ASCII Gantt and the JSON timeline cannot disagree.  A plain
+    :class:`Tracer` falls back to pairing raw ``cmd_start``/``cmd_end``
+    records.
+    """
+    if isinstance(tracer, EventRecorder):
+        spans = [
+            Span(
+                queue=es.track,
+                kind=str(es.attrs.get("type", "?")),
+                label=_label(es.attrs),
+                start=es.start,
+                end=es.end,
+            )
+            for es in tracer.command_spans()
+        ]
+    else:
+        spans = _spans_from_records(tracer)
+    if kinds is not None:
+        spans = [s for s in spans if s.kind in kinds]
+    return spans
+
+
+def _spans_from_records(tracer: Tracer) -> List[Span]:
+    """Legacy path: FIFO-pair flat cmd_start/cmd_end records per queue."""
     open_commands: Dict[str, List] = {}
     spans: List[Span] = []
     for record in tracer.records:
@@ -71,8 +100,6 @@ def extract_spans(tracer: Tracer, kinds: Optional[List[str]] = None) -> List[Spa
                 start=start.time,
                 end=record.time,
             ))
-    if kinds is not None:
-        spans = [s for s in spans if s.kind in kinds]
     return spans
 
 

@@ -1,0 +1,102 @@
+"""``python -m repro.harness trace``: run a workload, export its timeline.
+
+Runs one Polybench application under the FluidiCL runtime on a traced
+machine, then writes the typed event stream as Chrome-trace JSON (loadable
+in ``chrome://tracing`` / Perfetto) and prints the ASCII Gantt plus the
+run's metrics — all three views read the same
+:class:`~repro.obs.recorder.EventRecorder` stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional, Tuple
+
+from repro.core.runtime import FluidiCLRuntime
+from repro.harness.timeline import extract_spans, render_gantt
+from repro.hw.machine import build_machine
+from repro.obs.chrome import to_chrome_trace
+from repro.polybench.suite import SCALES, make_app
+
+__all__ = ["trace_main", "run_traced_app"]
+
+
+def run_traced_app(app_name: str, scale: str) -> Tuple[object, FluidiCLRuntime, object]:
+    """Execute ``app_name`` at ``scale`` under FluidiCL with tracing on."""
+    machine = build_machine(trace=True)
+    runtime = FluidiCLRuntime(machine)
+    app = make_app(app_name, scale)
+    result = app.execute(runtime, check=True)
+    runtime.drain()
+    return machine, runtime, result
+
+
+def _collect_metrics(runtime: FluidiCLRuntime) -> dict:
+    metrics = runtime.metrics.snapshot()
+    metrics.update(
+        pool_hits=runtime.pool.hits,
+        pool_misses=runtime.pool.misses,
+        kernels_enqueued=runtime.stats.kernels_enqueued,
+        host_writes=runtime.stats.writes,
+        host_reads=runtime.stats.reads,
+    )
+    return metrics
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description=(
+            "Run one benchmark under FluidiCL and export its execution "
+            "timeline as Chrome-trace JSON (chrome://tracing / Perfetto)."
+        ),
+    )
+    parser.add_argument(
+        "--app", default="gesummv",
+        help="benchmark to run (default: gesummv)",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALES),
+        help="problem-size preset (default: small)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny run for CI: forces --scale test",
+    )
+    parser.add_argument(
+        "--out", default="fluidicl-trace.json", metavar="PATH",
+        help="Chrome-trace JSON output path (default: fluidicl-trace.json)",
+    )
+    parser.add_argument(
+        "--no-gantt", action="store_true",
+        help="skip printing the ASCII Gantt chart",
+    )
+    args = parser.parse_args(argv)
+    scale = "test" if args.smoke else args.scale
+
+    machine, runtime, result = run_traced_app(args.app, scale)
+    recorder = machine.tracer
+    metrics = _collect_metrics(runtime)
+    trace = to_chrome_trace(recorder, process_name=f"fluidicl:{args.app}",
+                            metrics=metrics)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+
+    print(f"== trace: {args.app} @ {scale} "
+          f"({result.elapsed * 1e3:.2f} ms simulated, "
+          f"correct={result.correct}) ==")
+    for record in runtime.records:
+        print(f"  {record.summary()}")
+    if not args.no_gantt:
+        print(render_gantt(extract_spans(recorder)))
+    print(f"  events: {len(recorder.events)} typed "
+          f"({len(trace['traceEvents'])} trace entries) -> {args.out}")
+    interesting = (
+        "merges", "stale_dh_discards", "subkernels_launched",
+        "status_messages", "gpu_input_refreshes",
+        "reads_from_cpu", "reads_from_gpu",
+    )
+    shown = {k: metrics[k] for k in interesting if k in metrics}
+    print(f"  metrics: {shown}")
+    return 0

@@ -20,6 +20,7 @@ from repro.hw.specs import (
     DeviceSpec,
     HostSpec,
 )
+from repro.obs.recorder import EventRecorder
 from repro.sim.core import Engine
 from repro.sim.trace import Tracer
 
@@ -65,9 +66,13 @@ def build_machine(
 ) -> Machine:
     """The default testbed: Tesla C2070 over PCIe 2.0 + Xeon W3550.
 
-    Device order is [gpu, cpu] throughout the repository.
+    Device order is [gpu, cpu] throughout the repository.  With
+    ``trace=True`` the engine records into an
+    :class:`~repro.obs.recorder.EventRecorder`, so both the flat trace
+    records and the typed event stream (Gantt, Chrome export, overlap
+    assertions) are captured from one source.
     """
-    engine = Engine(tracer=Tracer() if trace else None)
+    engine = Engine(tracer=EventRecorder() if trace else None)
     return Machine(
         engine=engine,
         host=host,

@@ -1,0 +1,37 @@
+"""Structured observability for the FluidiCL runtime.
+
+The :mod:`repro.obs` package is the instrumentation substrate the paper's
+overlap claims (§5.5/§7) are verified against:
+
+- :mod:`repro.obs.events` — the typed event taxonomy (kernel spans, CPU
+  subkernel launches, status deliveries, merges, refreshes, stale-data
+  discards, pool hits/misses) shared by every producer and consumer.
+- :mod:`repro.obs.recorder` — :class:`EventRecorder`, a drop-in
+  :class:`repro.sim.trace.Tracer` that additionally derives typed events
+  from every trace record, so the ASCII Gantt, the overlap assertions and
+  the Chrome-trace export all read one stream.
+- :mod:`repro.obs.metrics` — counters / gauges / histograms behind a
+  per-run :class:`MetricsRegistry` (replacing ad-hoc ``stats.extra``
+  bookkeeping while keeping its mapping interface).
+- :mod:`repro.obs.chrome` — ``chrome://tracing`` / Perfetto JSON export.
+"""
+
+from repro.obs.chrome import to_chrome_trace, write_chrome_trace
+from repro.obs.events import EventKind, EventSpan, Phase, TraceEvent, pair_spans
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import EventRecorder
+
+__all__ = [
+    "Counter",
+    "EventKind",
+    "EventRecorder",
+    "EventSpan",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Phase",
+    "TraceEvent",
+    "pair_spans",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

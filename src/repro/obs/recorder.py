@@ -1,0 +1,127 @@
+"""The event recorder: one stream feeding every observability consumer.
+
+:class:`EventRecorder` is a :class:`repro.sim.trace.Tracer` — it plugs into
+``Engine(tracer=...)`` unchanged and keeps the flat
+:class:`~repro.sim.trace.TraceRecord` log working for legacy consumers —
+but it *also* derives a typed :class:`~repro.obs.events.TraceEvent` from
+every record it sees.  The ASCII Gantt, the overlap property tests and the
+Chrome-trace exporter all read this one derived stream, so they can never
+disagree about what happened.
+
+Producers emit through ``engine.trace(category, **payload)``; the mapping
+from category names to typed kinds lives here, in one table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.events import EventKind, EventSpan, Phase, TraceEvent, pair_spans
+from repro.sim.trace import Tracer
+
+__all__ = ["EventRecorder"]
+
+
+def _payload_label(payload: Dict[str, Any]) -> str:
+    """Human-readable name for a command payload (kernel/buffer/transfer)."""
+    if "kernel" in payload:
+        window = payload.get("window")
+        return f"{payload['kernel']}{window}" if window else str(payload["kernel"])
+    if "buffer" in payload:
+        return str(payload["buffer"])
+    if "src" in payload:
+        return f"{payload['src']}->{payload.get('dst', '?')}"
+    return str(payload.get("label", "") or payload.get("type", ""))
+
+
+#: category -> (kind, phase, default track key); track falls back to the
+#: payload's ``queue``/``track`` field, then to the literal default.
+_CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
+    "cmd_start": (EventKind.COMMAND, Phase.BEGIN, "queue"),
+    "cmd_end": (EventKind.COMMAND, Phase.END, "queue"),
+    "kernel_begin": (EventKind.KERNEL, Phase.BEGIN, "runtime"),
+    "kernel_end": (EventKind.KERNEL, Phase.END, "runtime"),
+    "subkernel_launch": (EventKind.SUBKERNEL, Phase.INSTANT, "scheduler"),
+    "status_delivery": (EventKind.STATUS, Phase.INSTANT, "hd"),
+    "merge_enqueued": (EventKind.MERGE, Phase.INSTANT, "runtime"),
+    "gpu_input_refresh": (EventKind.GPU_REFRESH, Phase.INSTANT, "runtime"),
+    "dh_readback_begin": (EventKind.DH_READBACK, Phase.BEGIN, "dh-thread"),
+    "dh_readback_end": (EventKind.DH_READBACK, Phase.END, "dh-thread"),
+    "stale_dh_discard": (EventKind.STALE_DISCARD, Phase.INSTANT, "dh-thread"),
+    "pool_hit": (EventKind.POOL, Phase.INSTANT, "pool"),
+    "pool_miss": (EventKind.POOL, Phase.INSTANT, "pool"),
+    "buffer_read": (EventKind.BUFFER_READ, Phase.INSTANT, "runtime"),
+    "commit": (EventKind.COMMIT, Phase.INSTANT, "runtime"),
+}
+
+
+class EventRecorder(Tracer):
+    """Tracer that additionally maintains the typed event stream."""
+
+    def __init__(self):
+        super().__init__()
+        self.events: List[TraceEvent] = []
+
+    # -- ingestion ---------------------------------------------------------
+    def record(self, time: float, category: str, payload: Dict[str, Any]) -> None:
+        super().record(time, category, payload)
+        kind, phase, default_track = _CATEGORIES.get(
+            category, (EventKind.GENERIC, Phase.INSTANT, "misc")
+        )
+        track = payload.get("queue") or payload.get("track") or default_track
+        if category in ("pool_hit", "pool_miss"):
+            name = category.split("_", 1)[1]  # "hit" / "miss"
+        elif kind is EventKind.GENERIC:
+            name = category
+        else:
+            name = _payload_label(payload) or kind.value
+        self.events.append(TraceEvent(
+            ts=time,
+            kind=kind,
+            phase=phase,
+            name=name,
+            track=str(track),
+            attrs=dict(payload),
+        ))
+
+    def clear(self) -> None:
+        super().clear()
+        self.events.clear()
+
+    # -- typed queries -----------------------------------------------------
+    def by_kind(self, kind: EventKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def instants(self, kind: Optional[EventKind] = None) -> List[TraceEvent]:
+        return [
+            e for e in self.events
+            if e.phase is Phase.INSTANT and (kind is None or e.kind is kind)
+        ]
+
+    def event_spans(self, kind: Optional[EventKind] = None) -> List[EventSpan]:
+        """All paired begin/end intervals, optionally filtered by kind."""
+        spans = pair_spans(self.events)
+        if kind is not None:
+            spans = [s for s in spans if s.kind is kind]
+        return spans
+
+    def command_spans(self) -> List[EventSpan]:
+        """Queue-command execution intervals (the Gantt's raw material)."""
+        return self.event_spans(EventKind.COMMAND)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of typed events per kind (INSTANT and BEGIN phases only,
+        so spans count once)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.phase is Phase.END:
+                continue
+            out[event.kind.value] = out.get(event.kind.value, 0) + 1
+        return out
+
+    def tracks(self) -> List[str]:
+        """Track names in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)

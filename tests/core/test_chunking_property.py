@@ -1,5 +1,6 @@
 """Property-based tests for the adaptive chunker."""
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.chunking import AdaptiveChunker
@@ -55,3 +56,31 @@ def test_chunk_never_shrinks_while_growing(total, cu):
 def test_first_chunk_at_least_compute_units(total, cu):
     chunker = AdaptiveChunker(total, cu, initial_fraction=0.01)
     assert chunker.next_chunk(total) >= min(cu, total)
+
+
+@given(
+    total=st.integers(64, 4000),
+    cu=st.integers(1, 16),
+    surpluses=st.lists(st.integers(0, 48), min_size=1, max_size=12),
+    per_wg=st.floats(1e-6, 1e-3),
+)
+def test_covering_slice_observation_preserves_device_speed(total, cu,
+                                                           surpluses, per_wg):
+    """§5.2 accounting: a covering slice executes ``chunk + surplus``
+    groups.  Feeding the chunker the *launched* count (as the scheduler
+    does) keeps the recorded per-group average equal to the device's true
+    speed regardless of surplus; feeding only the requested chunk would
+    inflate it by ``launched / chunk``."""
+    chunker = AdaptiveChunker(total, cu)
+    remaining = total
+    for surplus in surpluses:
+        if remaining < 1:
+            break
+        chunk = chunker.next_chunk(remaining)
+        launched = chunk + surplus
+        elapsed = launched * per_wg  # the slice really ran `launched` groups
+        chunker.observe(launched, elapsed)
+        observed_groups, observed_avg = chunker.history[-1]
+        assert observed_groups == launched
+        assert observed_avg == pytest.approx(per_wg, rel=1e-9)
+        remaining -= chunk

@@ -7,9 +7,13 @@ from repro.core.buffers import DIRTY
 from repro.core.config import FluidiCLConfig
 from repro.core.runtime import FluidiCLRuntime
 from repro.hw.machine import build_machine
+from repro.kernels.transforms import cpu_subkernel_variant
+from repro.obs import EventKind
+from repro.ocl.executor import LaunchConfig
+from repro.ocl.kernel import Kernel
 from repro.ocl.ndrange import NDRange
 
-from tests.conftest import make_scale_kernel
+from tests.conftest import make_scale_kernel, run_fluidicl_scale
 
 
 @pytest.fixture
@@ -157,3 +161,161 @@ class TestRecords:
         record = runtime.records[0]
         assert record.surplus_groups >= 0
         assert record.subkernels >= 1
+
+
+class TestCpuReadSynchronization:
+    """Regression tests: host reads of the CPU copy vs in-flight subkernels.
+
+    The read travels on ``cpu_io_queue`` (so it does not serialize behind
+    stale CPU work), which means it must carry an *explicit* dependency on
+    the last CPU subkernel writing the buffer — the in-order ``cpu_queue``
+    alone cannot order the two."""
+
+    def test_read_waits_for_inflight_cpu_subkernel_write(self):
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        n = 4096
+        spec = make_scale_kernel(n, cpu_eff=0.3, work_scale=32.0)
+        x = runtime.create_buffer("x", (n,), np.float32)
+        y = runtime.create_buffer("y", (n,), np.float32)
+        runtime.enqueue_write_buffer(x, np.ones(n, dtype=np.float32))
+        runtime.enqueue_write_buffer(y, np.zeros(n, dtype=np.float32))
+        runtime.drain()
+        # Launch one CPU subkernel over the whole range exactly the way the
+        # scheduler does — registering its completion event on the
+        # out-buffer — but do NOT wait for it.  This is the shape of a
+        # stale subkernel still executing when the host reads.
+        ndrange = NDRange(n, 16)
+        kernel = Kernel(
+            cpu_subkernel_variant(spec, wg_split=False),
+            {"x": x.cpu, "y": y.cpu, "alpha": 3.0},
+        )
+        event = runtime.cpu_queue.enqueue_nd_range_kernel(
+            kernel, ndrange,
+            LaunchConfig(fid_start=0, fid_end=ndrange.total_groups,
+                         kernel_id=99),
+        )
+        y.last_cpu_kernel_write = event
+        assert not event.is_complete
+        out = np.empty(n, dtype=np.float32)
+        runtime.enqueue_read_buffer(y, out)
+        # The read must have synchronized on the subkernel's write...
+        assert event.is_complete
+        # ...and therefore observed its output, not the stale zeros.
+        assert np.all(out == 3.0)
+        runtime.drain()
+
+    def test_scheduler_registers_subkernel_write_events(self):
+        """Cooperative runs leave the last subkernel write on the buffer."""
+        runtime, y, expected = run_fluidicl_scale(
+            n=16384, gpu_eff=0.4, cpu_eff=0.6
+        )
+        np.testing.assert_allclose(y, expected, rtol=1e-6)
+        buf_y = next(b for b in runtime.buffers if b.name == "y")
+        assert buf_y.last_cpu_kernel_write is not None
+        runtime.drain()
+        assert buf_y.last_cpu_kernel_write.is_complete
+        assert buf_y.quiesce_events() == []
+
+
+class TestBackgroundBookkeeping:
+    """Regression tests: finish()/drain() accounting of background work."""
+
+    def test_finish_prunes_completed_dh_threads(self):
+        """A finish()-only workload (the common host-program shape) must
+        not accumulate one completed dh process per kernel forever."""
+        machine = build_machine()
+        # Small chunks keep the stale CPU subkernels short, so each
+        # kernel's dh read-back completes while the next kernel runs.
+        config = FluidiCLConfig(initial_chunk_fraction=0.02,
+                                chunk_step_fraction=0.02)
+        runtime = FluidiCLRuntime(machine, config=config)
+        n = 4096
+        spec = make_scale_kernel(n, gpu_eff=0.9, cpu_eff=0.5,
+                                 work_scale=32.0)
+        x = runtime.create_buffer("x", (n,), np.float32)
+        runtime.enqueue_write_buffer(x, np.ones(n, dtype=np.float32))
+        kernels = 4
+        for i in range(kernels):
+            y = runtime.create_buffer(f"y{i}", (n,), np.float32)
+            runtime.enqueue_nd_range_kernel(
+                spec, NDRange(n, 16), {"x": x, "y": y, "alpha": 2.0}
+            )
+            runtime.finish()
+        # Only still-running dh threads may remain on the books.
+        assert all(not p.triggered for p in runtime._dh_processes)
+        assert len(runtime._dh_processes) < kernels
+        runtime.drain()
+        assert runtime._dh_processes == []
+        assert runtime._pending_commits == []
+
+    def test_finish_waits_for_tracked_commit_events(self):
+        """finish() must block on commit events it tracks, even ones not
+        covered by the GPU-queue markers it takes."""
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        delay = 5e-4
+        runtime.cpu_queue.enqueue_callback(
+            lambda _q: None, duration=delay, label="commit-sim"
+        )
+        commit = runtime.cpu_queue.finish_event()
+        runtime._pending_commits.append(commit)
+        before = runtime.now
+        runtime.finish()  # does not wait on cpu_queue markers by itself
+        assert commit.triggered
+        assert runtime.now >= before + delay
+        assert runtime._pending_commits == []
+
+    def test_merge_commit_events_are_tracked_and_pruned(self):
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        n = 16384
+        spec = make_scale_kernel(n, gpu_eff=0.4, cpu_eff=0.6,
+                                 work_scale=32.0)
+        x = runtime.create_buffer("x", (n,), np.float32)
+        y = runtime.create_buffer("y", (n,), np.float32)
+        runtime.enqueue_write_buffer(x, np.ones(n, dtype=np.float32))
+        runtime.enqueue_nd_range_kernel(
+            spec, NDRange(n, 16), {"x": x, "y": y, "alpha": 2.0}
+        )
+        assert runtime.records[0].merged
+        runtime.finish()
+        assert runtime._pending_commits == []
+
+
+class TestChunkerAccounting:
+    def test_chunker_observations_use_launched_groups(self):
+        """Regression (§5.2): a covering slice executes
+        ``launched_groups = chunk + surplus``; the adaptive chunker must be
+        fed what actually ran, or seconds-per-work-group is systematically
+        overestimated on multi-dimensional ranges."""
+        from repro.polybench import SyrkApp
+
+        machine = build_machine(trace=True)
+        runtime = FluidiCLRuntime(machine)
+        app = SyrkApp(n=768)
+        app.execute(runtime, check=False)
+        runtime.drain()
+
+        launches = [
+            e for e in machine.tracer.instants(EventKind.SUBKERNEL)
+            if not e.attrs["probing"]
+        ]
+        assert launches, "expected at least one non-probe subkernel"
+        assert any(e.attrs["surplus_groups"] > 0 for e in launches), (
+            "test needs a covering slice with surplus to be meaningful"
+        )
+        by_kernel = {}
+        for event in launches:
+            by_kernel.setdefault(event.attrs["kernel_id"], []).append(event)
+        for record in runtime.records:
+            chunker = getattr(record, "chunker", None)
+            events = by_kernel.get(record.kernel_id, [])
+            if chunker is None or not events:
+                continue
+            assert len(chunker.history) == len(events)
+            for (observed_groups, _avg), event in zip(chunker.history, events):
+                assert observed_groups == event.attrs["launched_groups"]
+                assert event.attrs["launched_groups"] == (
+                    event.attrs["chunk"] + event.attrs["surplus_groups"]
+                )

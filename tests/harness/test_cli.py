@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro.harness`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.harness.__main__ import main
@@ -31,3 +33,31 @@ class TestCli:
             main(["--help"])
         out = capsys.readouterr().out
         assert "ext_phi" in out
+
+
+class TestTraceSubcommand:
+    def test_smoke_emits_valid_chrome_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--smoke", "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "== trace: gesummv @ test" in printed
+        assert "metrics:" in printed
+        with open(out_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        events = trace["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} <= {"X", "i", "M"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        assert all(
+            {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            for e in complete
+        )
+        assert "metrics" in trace["otherData"]
+
+    def test_no_gantt_skips_chart(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--smoke", "--no-gantt",
+                     "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "busy" not in printed  # Gantt rows end with "NN% busy"
