@@ -95,12 +95,19 @@ class FluidiBuffer:
         self.version_gpu = DIRTY
         self.version_cpu = DIRTY
 
-    def commit_host_write(self, version: int) -> None:
-        """Both devices were given fresh host data (``clEnqueueWriteBuffer``)."""
+    def commit_host_write(self, version: int, gpu: bool = True,
+                          cpu: bool = True) -> None:
+        """Fresh host data was written (``clEnqueueWriteBuffer``).
+
+        Normally both device copies receive it; a copy on a lost device is
+        skipped by the runtime (``gpu=False`` / ``cpu=False``) and marked
+        DIRTY so nothing ever serves it.
+        """
         self.latest = version
-        self.version_gpu = version
-        self.version_cpu = version
-        self.cpu_gate.fire(version)
+        self.version_gpu = version if gpu else DIRTY
+        self.version_cpu = version if cpu else DIRTY
+        if cpu:
+            self.cpu_gate.fire(version)
 
     def commit_gpu(self, kernel_id: int) -> None:
         """The merged result on the GPU is the new truth (normal path)."""

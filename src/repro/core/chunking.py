@@ -33,7 +33,12 @@ class AdaptiveChunker:
         self.total_groups = total_groups
         self.compute_units = compute_units
         self.chunk = max(1, round(initial_fraction * total_groups))
-        self.step = round(step_fraction * total_groups)
+        # step_fraction == 0 means "growth disabled" (the fig. 18 sweep
+        # uses it); any positive fraction must yield a usable step even for
+        # tiny ranges, where rounding alone would produce 0 and silently
+        # disable adaptation.
+        self.step = (max(1, round(step_fraction * total_groups))
+                     if step_fraction > 0 else 0)
         self._growing = self.step > 0
         self._previous_avg: float = float("inf")
         #: (chunk, avg seconds/work-group) per observed subkernel

@@ -38,6 +38,14 @@ class FluidiCLConfig:
     online_profiling: bool = False
     #: size of the CPU-to-GPU execution status message, bytes
     status_message_bytes: int = 64
+    #: arm the per-kernel watchdog that escalates a silent device to lost
+    watchdog: bool = True
+    #: seconds without device progress before the watchdog declares loss
+    watchdog_timeout: float = 0.25
+    #: bounded-retry budget for transiently failing H2D/D2H transfers
+    transfer_max_retries: int = 4
+    #: base backoff before the first transfer retry (doubles per attempt)
+    transfer_retry_backoff: float = 2e-5
 
     def __post_init__(self):
         if not 0 < self.initial_chunk_fraction <= 1:
@@ -46,6 +54,12 @@ class FluidiCLConfig:
             raise ValueError("chunk_step_fraction must be in [0, 1]")
         if self.status_message_bytes < 1:
             raise ValueError("status_message_bytes must be >= 1")
+        if self.watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive")
+        if self.transfer_max_retries < 0:
+            raise ValueError("transfer_max_retries must be >= 0")
+        if self.transfer_retry_backoff < 0:
+            raise ValueError("transfer_retry_backoff must be >= 0")
 
     def with_options(self, **changes) -> "FluidiCLConfig":
         """A modified copy (used heavily by the ablation benchmarks)."""

@@ -29,12 +29,14 @@ from repro.obs.metrics import MetricsRegistry
 from repro.core.profiling_opt import OnlineKernelProfiler
 from repro.core.scheduler import CpuScheduler
 from repro.core.stats import KernelRecord
+from repro.core.watchdog import KernelWatchdog
 from repro.hw.machine import Machine
 from repro.kernels.dsl import KernelSpec
 from repro.kernels.transforms import gpu_fluidic_variant, plain_variant
 from repro.ocl.buffer import Buffer
 from repro.ocl.enums import MemFlag
 from repro.ocl.executor import LaunchConfig, StatusBoard
+from repro.ocl.health import DeviceLostError
 from repro.ocl.kernel import Kernel
 from repro.ocl.ndrange import NDRange
 from repro.ocl.platform import Platform
@@ -120,7 +122,19 @@ class FluidiCLRuntime(AbstractRuntime):
             kernels_cpu_complete=0,
             kernels_merged=0,
             kernels_gpu_only=0,
+            kernels_failover=0,
+            faults_injected=0,
+            failovers=0,
+            watchdog_trips=0,
         )
+        # Resilience policy (see repro.faults / DESIGN.md): bounded retry
+        # for transiently failing transfers on both devices.
+        for device in (self.gpu_device, self.cpu_device):
+            device.health.max_transfer_retries = self.config.transfer_max_retries
+            device.health.retry_backoff = self.config.transfer_retry_backoff
+        #: a CPU-device loss is reported as one failover, at the end of the
+        #: first kernel it affects
+        self._cpu_failover_traced = False
 
     # ------------------------------------------------------------------
     # OpenCL-shaped API
@@ -145,11 +159,19 @@ class FluidiCLRuntime(AbstractRuntime):
         self.machine.host_api_call()
         version = next(self._versions)
         snapshot = np.array(host_array, copy=True)
-        self.app_queue.enqueue_write_buffer(handle.gpu, snapshot)
-        handle.last_cpu_write = self.cpu_queue.enqueue_write_buffer(
-            handle.cpu, snapshot
-        )
-        handle.commit_host_write(version)
+        # A lost device gets no copy — and, crucially, must not be marked
+        # current, or later reads would serve stale data from it.
+        gpu_ok = not self.gpu_device.health.lost
+        cpu_ok = not self.cpu_device.health.lost
+        if not (gpu_ok or cpu_ok):
+            raise DeviceLostError("both devices lost; nowhere to write")
+        if gpu_ok:
+            self.app_queue.enqueue_write_buffer(handle.gpu, snapshot)
+        if cpu_ok:
+            handle.last_cpu_write = self.cpu_queue.enqueue_write_buffer(
+                handle.cpu, snapshot
+            )
+        handle.commit_host_write(version, gpu=gpu_ok, cpu=cpu_ok)
         self.stats.writes += 1
 
     def enqueue_read_buffer(self, handle: FluidiBuffer,
@@ -173,18 +195,28 @@ class FluidiCLRuntime(AbstractRuntime):
             self._quiesce_cpu_copy(handle)
             event = self.cpu_io_queue.enqueue_read_buffer(handle.cpu, host_array)
             self.stats.extra["reads_from_cpu"] += 1
-            source = "cpu"
+            source, device = "cpu", self.cpu_device
         elif handle.gpu_current:
             event = self.dh_queue.enqueue_read_buffer(handle.gpu, host_array)
             self.stats.extra["reads_from_gpu"] += 1
-            source = "gpu"
+            source, device = "gpu", self.gpu_device
         else:
             raise RuntimeError(
                 f"buffer {handle.name!r} has no coherent copy anywhere"
             )
         self.engine.trace("buffer_read", buffer=handle.name, source=source,
                           nbytes=handle.nbytes)
+        if self.config.watchdog:
+            KernelWatchdog(self, device, event.done,
+                           self.config.watchdog_timeout,
+                           label=f"read {handle.name}")
         self.machine.run_until(event.done)
+        if event.cancelled:
+            # Never hand back the (zero-filled) destination as if it were
+            # data: the source device died under the read.
+            raise DeviceLostError(
+                f"read of {handle.name!r} cancelled: {event.error}"
+            )
         self.stats.reads += 1
 
     def _quiesce_cpu_copy(self, handle: FluidiBuffer) -> None:
@@ -293,23 +325,44 @@ class FluidiCLRuntime(AbstractRuntime):
         # discarded — the next kernel's CPU work queues behind it on the
         # in-order CPU queue, exactly as with the paper's pthread scheduler.
         scheduler = CpuScheduler(self, plan)
+        if self.config.watchdog:
+            KernelWatchdog(self, self.gpu_device, plan.gpu_event.done,
+                           self.config.watchdog_timeout,
+                           label=f"kernel k{kernel_id}")
         self.machine.run_until(plan.gpu_event.done)
-        plan.board.finalize()
 
-        gpu_result = plan.gpu_event.result
-        record.gpu_groups = gpu_result.executed_groups
-        record.gpu_span = (gpu_result.start_time, gpu_result.end_time)
-
-        # The CPU "completed the whole NDRange first" only if the final
-        # status (data included) made it to the GPU (§4.2).
-        cpu_complete = plan.board.frontier == 0
-        if cpu_complete:
-            self._commit_cpu_complete(plan)
+        if plan.gpu_event.cancelled:
+            # GPU lost mid-kernel: the CPU scheduler completes the whole
+            # flattened range and its copy becomes the committed truth.
+            self._failover_to_cpu(plan, scheduler)
         else:
-            self._merge_and_commit(plan)
+            plan.board.finalize()
+            gpu_result = plan.gpu_event.result
+            record.gpu_groups = gpu_result.executed_groups
+            record.gpu_span = (gpu_result.start_time, gpu_result.end_time)
+
+            # The CPU "completed the whole NDRange first" only if the final
+            # status (data included) made it to the GPU (§4.2).
+            cpu_complete = plan.board.frontier == 0
+            if cpu_complete:
+                self._commit_cpu_complete(plan)
+            else:
+                self._merge_and_commit(plan)
+
+            if self.cpu_device.health.lost and not self._cpu_failover_traced:
+                # The mirror image: the CPU died, the GPU carried the
+                # kernel alone.  Reported once per loss, not per kernel.
+                self._cpu_failover_traced = True
+                self.stats.extra["failovers"] += 1
+                self.engine.trace(
+                    "failover", kernel_id=kernel_id, lost="cpu",
+                    survivor="gpu",
+                    reason=self.cpu_device.health.lost_reason,
+                )
 
         record.end_time = self.now
-        path = ("cpu-complete" if record.cpu_completed_all
+        path = ("failover" if record.failover
+                else "cpu-complete" if record.cpu_completed_all
                 else "merged" if record.merged else "gpu-only")
         self.stats.extra[f"kernels_{path.replace('-', '_')}"] += 1
         self.metrics.histogram("kernel_seconds").observe(record.duration)
@@ -345,6 +398,11 @@ class FluidiCLRuntime(AbstractRuntime):
         the CPU (CPU-complete path), in which case the CPU copy is current
         and quiescent, so snapshotting host-side here is race-free.
         """
+        if self.gpu_device.health.lost:
+            # The writes would be cancelled; marking the GPU copies
+            # refreshed anyway would corrupt the version tracking.  The
+            # kernel about to launch fails over to the CPU regardless.
+            return
         for fbuf in fbuffers:
             if fbuf.gpu_current:
                 continue
@@ -410,6 +468,49 @@ class FluidiCLRuntime(AbstractRuntime):
             LaunchConfig(status_board=board, kernel_id=kernel_id),
         )
         return plan
+
+    def _failover_to_cpu(self, plan: _KernelPlan, scheduler: CpuScheduler) -> None:
+        """The GPU died under this kernel's command: degrade gracefully.
+
+        The cooperative design makes this cheap — the CPU scheduler is
+        already executing the same kernel from the top of the range, so
+        "failover" is just letting it run to ``frontier == 0`` and then
+        committing its copy, exactly like the §4.2 CPU-complete path (minus
+        the result shipping, which the dead GPU can no longer receive).
+        """
+        record = plan.record
+        health = self.gpu_device.health
+        self.stats.extra["failovers"] += 1
+        self.engine.trace(
+            "failover", kernel_id=plan.kernel_id, lost="gpu",
+            survivor="cpu", reason=health.lost_reason,
+            frontier=scheduler.frontier,
+        )
+        # Stop shipping results/status to the dead device; the board is
+        # frozen so the record reflects the pre-loss state.
+        plan.board.finalize()
+        self.machine.run_until(scheduler.process)
+        if scheduler.data_lost or scheduler.frontier > 0:
+            raise DeviceLostError(
+                f"kernel {record.name!r} (k{plan.kernel_id}) unrecoverable: "
+                f"GPU lost ({health.lost_reason}) and the CPU could not "
+                f"complete the range (frontier={scheduler.frontier}, "
+                f"data_lost={scheduler.data_lost})"
+            )
+        for fbuf in plan.out_fbuffers:
+            fbuf.commit_cpu(plan.kernel_id)
+        record.failover = True
+        record.cpu_completed_all = True
+        record.cpu_groups = plan.ndrange.total_groups
+        record.gpu_groups = 0
+        self.engine.trace("commit", kernel_id=plan.kernel_id, path="failover")
+        # The hd queue drains instantly (every pending send cancels), after
+        # which nothing references the helper buffers; the usual release
+        # callback cannot be used because callbacks on a lost device are
+        # themselves cancelled.
+        self.machine.run_until(self.hd_queue.finish_event())
+        for buffer in list(plan.cpu_in.values()) + list(plan.orig.values()):
+            self.pool.release(buffer)
 
     def _commit_cpu_complete(self, plan: _KernelPlan) -> None:
         """§4.2: CPU finished the whole NDRange; GPU results are ignored."""
@@ -502,13 +603,22 @@ class FluidiCLRuntime(AbstractRuntime):
                 staging_buffer, host_staging
             )
             yield read_event.done
-            if fbuf.latest == kernel_id:
+            if read_event.cancelled:
+                # GPU died before the staging copy came down; the host
+                # array holds no data.  Abandon the delivery (and wake any
+                # §5.3 waiter so it can re-evaluate instead of hanging).
+                self._abandon_dh_delivery(kernel_id, fbuf)
+            elif fbuf.latest == kernel_id:
                 write_event = self.cpu_queue.enqueue_write_buffer(
                     fbuf.cpu, host_staging
                 )
                 fbuf.last_cpu_write = write_event
                 yield write_event.done
-                if fbuf.latest == kernel_id:
+                if write_event.cancelled:
+                    # CPU died before the refresh landed; the CPU copy
+                    # still holds its old (DIRTY) state.
+                    self._abandon_dh_delivery(kernel_id, fbuf)
+                elif fbuf.latest == kernel_id:
                     fbuf.mark_cpu_refreshed(kernel_id)
                     delivered += 1
                 else:
@@ -524,6 +634,13 @@ class FluidiCLRuntime(AbstractRuntime):
         self.stats.extra["stale_dh_discards"] += 1
         self.engine.trace("stale_dh_discard", kernel_id=kernel_id,
                           buffer=fbuf.name, superseded_by=fbuf.latest)
+
+    def _abandon_dh_delivery(self, kernel_id: int, fbuf: FluidiBuffer) -> None:
+        """A device died under this buffer's read-back; it will not arrive."""
+        fbuf.dh_pending = False
+        # Wake §5.3 waiters; they see ``dh_pending`` cleared with the
+        # version unchanged and react (failover data-loss detection).
+        fbuf.cpu_gate.fire(fbuf.version_cpu)
 
     def _release_helpers_after_hd_drain(self, plan: _KernelPlan) -> None:
         """Return cpu_in/orig buffers to the pool once in-flight CPU sends

@@ -31,9 +31,21 @@ class CpuScheduler:
         self.frontier = plan.ndrange.total_groups
         #: total surplus groups launched due to covering slices (§5.2)
         self.surplus_groups = 0
+        #: True when the CPU device died mid-subkernel (its work is void)
+        self.cpu_lost = False
+        #: True when a required input version can never reach the CPU (it
+        #: was riding a device-to-host read-back from a lost GPU)
+        self.data_lost = False
         self.process = runtime.engine.process(
             self._run(), name=f"fluidicl-sched-k{plan.kernel_id}"
         )
+
+    def _gpu_finished(self) -> bool:
+        """GPU kernel ran to completion.  A *cancelled* GPU event (device
+        lost) does NOT count: the CPU must keep going — it is the failover
+        path's surviving device."""
+        event = self.plan.gpu_event
+        return event.done.triggered and not event.cancelled
 
     # ------------------------------------------------------------------
     def _run(self):
@@ -43,14 +55,28 @@ class CpuScheduler:
         config = runtime.config
         gpu_done = plan.gpu_event.done
 
+        # Set before any exit path: GPU-dominant kernels can finish during
+        # the version wait below, and downstream reporting reads this field
+        # unconditionally.
+        plan.record.version_used = plan.profiler.versions[0].version
+
         yield engine.timeout(runtime.machine.host.thread_spawn_overhead)
 
         # -- §5.3: wait until the CPU copies reach the pre-kernel versions --
         for fbuf, required in plan.required_cpu_versions.items():
             while fbuf.version_cpu < required:
-                if gpu_done.triggered:
+                if self._gpu_finished():
                     return
-                yield engine.any_of([fbuf.cpu_gate.wait(), gpu_done])
+                if plan.gpu_event.cancelled and not fbuf.dh_pending:
+                    # The missing version was coming down from the (now
+                    # lost) GPU and no read-back remains in flight: the
+                    # input data is gone on both devices.
+                    self.data_lost = True
+                    return
+                waits = [fbuf.cpu_gate.wait()]
+                if not gpu_done.triggered:
+                    waits.append(gpu_done)
+                yield engine.any_of(waits)
 
         chunker = AdaptiveChunker(
             plan.ndrange.total_groups,
@@ -62,12 +88,13 @@ class CpuScheduler:
         profiler = plan.profiler
 
         # §6.6: each alternate version is probed with a deliberately small
-        # allocation before committing to the fastest one.
-        probe_chunk = max(
-            runtime.cpu_device.spec.compute_units,
-            plan.ndrange.total_groups // 100,
-        )
-        while self.frontier > 0 and not gpu_done.triggered:
+        # allocation before committing to the fastest one.  Probes round up
+        # to a compute-unit multiple like every other allocation, or the
+        # partially filled last wave biases the per-group version timings.
+        cu = runtime.cpu_device.spec.compute_units
+        probe_chunk = max(cu, plan.ndrange.total_groups // 100)
+        probe_chunk = -(-probe_chunk // cu) * cu
+        while self.frontier > 0 and not self._gpu_finished():
             spec = profiler.next_version()
             if profiler.probing:
                 chunk = min(probe_chunk, self.frontier)
@@ -105,6 +132,13 @@ class CpuScheduler:
             )
             runtime.stats.extra["subkernels_launched"] += 1
             yield event.done
+            if event.cancelled:
+                # The CPU device died under this subkernel; its partial
+                # results are void and the frontier did not move.  The GPU
+                # carries the kernel alone from here (the runtime reports
+                # the failover once, at kernel end).
+                self.cpu_lost = True
+                break
             elapsed = engine.now - began
 
             # §5.1/§5.2: the covering slice *executed*

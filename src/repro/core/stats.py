@@ -34,6 +34,8 @@ class KernelRecord:
     merged: bool = False
     #: kernel version picked by online profiling, if any
     version_used: Optional[str] = None
+    #: True when a device was lost and the survivor completed the range
+    failover: bool = False
     start_time: float = 0.0
     end_time: float = 0.0
     #: (start, end) of the GPU-side kernel command
@@ -69,6 +71,7 @@ class KernelRecord:
             "cpu_completed_all": self.cpu_completed_all,
             "merged": self.merged,
             "version_used": self.version_used,
+            "failover": self.failover,
             "start_time": self.start_time,
             "end_time": self.end_time,
             "duration": self.duration,

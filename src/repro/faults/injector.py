@@ -1,0 +1,75 @@
+"""Applies a :class:`FaultSchedule` to a live runtime.
+
+One wrapper process per scheduled fault sleeps until the fault's simulated
+time and then mutates the target device's :class:`~repro.ocl.health.DeviceHealth`
+(or, for link degradation, swaps the device's interconnect spec for a
+bandwidth-scaled copy).  Kernel code and the command layer are untouched —
+they only ever observe the health object at their existing quantization
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+
+__all__ = ["FaultInjector", "install_faults"]
+
+
+class FaultInjector:
+    """Drives one schedule against one runtime (install once, per run)."""
+
+    def __init__(self, runtime, schedule: FaultSchedule):
+        self.runtime = runtime
+        self.schedule = schedule
+        #: specs already applied, in application order
+        self.applied: List[FaultSpec] = []
+        self._processes: List[object] = []
+        self._installed = False
+
+    def install(self) -> "FaultInjector":
+        if self._installed:
+            raise RuntimeError("fault schedule already installed")
+        self._installed = True
+        engine = self.runtime.engine
+        for idx, spec in enumerate(self.schedule):
+            self._processes.append(engine.process(
+                self._inject(spec),
+                name=f"fault-{idx}-{spec.kind.value}@{spec.device}",
+            ))
+        return self
+
+    def _device(self, spec: FaultSpec):
+        return (self.runtime.gpu_device if spec.device == "gpu"
+                else self.runtime.cpu_device)
+
+    def _inject(self, spec: FaultSpec):
+        engine = self.runtime.engine
+        delay = spec.at - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        device = self._device(spec)
+        health = device.health
+        if spec.kind is FaultKind.DEVICE_STALL:
+            health.stall(spec.duration)
+        elif spec.kind is FaultKind.DEVICE_LOSS:
+            health.declare_lost("injected device loss")
+        elif spec.kind is FaultKind.TRANSFER_FAULT:
+            health.inject_transfer_faults(spec.direction, spec.count)
+        elif spec.kind is FaultKind.LINK_DEGRADE:
+            device.link = replace(
+                device.link,
+                name=f"{device.link.name}-degraded",
+                bandwidth=device.link.bandwidth * spec.factor,
+            )
+            health.faults_injected += 1
+        self.applied.append(spec)
+        self.runtime.stats.extra["faults_injected"] += 1
+        engine.trace("fault_injected", **spec.describe())
+
+
+def install_faults(runtime, schedule: FaultSchedule) -> FaultInjector:
+    """Convenience: build and install an injector; returns it."""
+    return FaultInjector(runtime, schedule).install()

@@ -26,6 +26,7 @@ __all__ = [
     "ablation_wg_split",
     "extended_overall",
     "what_if_xeon_phi",
+    "fault_resilience",
 ]
 
 
@@ -279,6 +280,67 @@ def what_if_machine_sweep(gpu_scales=(0.25, 0.5, 1.0, 2.0, 4.0),
     return result
 
 
+def fault_resilience(scale: str = "test", benchmarks=None) -> ExperimentResult:
+    """Graceful degradation: inject one fault per class into every
+    benchmark and require numerics identical to the NumPy reference.
+
+    Each fault strikes at the midpoint of the first kernel's GPU execution
+    span (learned from a fault-free reference run) — the window in which a
+    device loss is recoverable, because no lost device yet holds the sole
+    copy of committed data.  The reference run doubles as the timing
+    baseline for the reported slowdown.
+    """
+    from repro.faults import FaultKind, FaultSchedule, install_faults
+
+    benchmarks = list(benchmarks or PAPER_SUITE)
+    result = ExperimentResult(
+        "ext_faults",
+        "Graceful degradation under injected faults (scale: %s)" % scale,
+        ["benchmark", "fault", "correct", "failovers", "retries", "slowdown"],
+    )
+    cases = [
+        ("stall", FaultKind.DEVICE_STALL, dict(device="gpu", duration=5e-4)),
+        ("gpu-loss", FaultKind.DEVICE_LOSS, dict(device="gpu")),
+        ("cpu-loss", FaultKind.DEVICE_LOSS, dict(device="cpu")),
+        ("h2d-fault", FaultKind.TRANSFER_FAULT,
+         dict(device="gpu", direction="h2d", count=2)),
+        ("degrade", FaultKind.LINK_DEGRADE, dict(device="gpu", factor=0.25)),
+    ]
+    for name in benchmarks:
+        app = make_app(name, scale)
+        inputs = app.fresh_inputs()
+
+        machine = build_machine()
+        runtime = FluidiCLRuntime(machine)
+        base = app.execute(runtime, inputs=inputs, check=True)
+        assert base.correct, f"{name}: fault-free reference run wrong"
+        runtime.drain()
+        begin, end = runtime.records[0].gpu_span
+        strike = begin + 0.5 * (end - begin)
+
+        for label, kind, kwargs in cases:
+            machine = build_machine()
+            runtime = FluidiCLRuntime(machine)
+            install_faults(
+                runtime, FaultSchedule.single(kind, at=strike, **kwargs)
+            )
+            app_result = app.execute(runtime, inputs=inputs, check=True)
+            assert app_result.correct, f"{name} wrong under {label}"
+            runtime.drain()
+            retries = (runtime.gpu_device.health.transfer_retries
+                       + runtime.cpu_device.health.transfer_retries)
+            result.rows.append([
+                name, label, app_result.correct,
+                runtime.stats.extra["failovers"], retries,
+                app_result.elapsed / base.elapsed,
+            ])
+    result.notes.append(
+        "numerics are bitwise-checked against the NumPy reference on every "
+        "run; a failed check raises instead of producing a row"
+    )
+    return result
+
+
 #: extension experiment id -> zero-argument callable (default settings)
 EXTENSION_EXPERIMENTS = {
     "ext_machines": what_if_machine_sweep,
@@ -288,4 +350,5 @@ EXTENSION_EXPERIMENTS = {
     "ext_suite": extended_overall,
     "ext_phi": what_if_xeon_phi,
     "ext_load": what_if_system_load,
+    "ext_faults": fault_resilience,
 }

@@ -13,23 +13,61 @@ import argparse
 import json
 from typing import List, Optional, Tuple
 
+from repro.core.config import FluidiCLConfig
 from repro.core.runtime import FluidiCLRuntime
+from repro.faults import FaultKind, FaultSchedule, install_faults
 from repro.harness.timeline import extract_spans, render_gantt
 from repro.hw.machine import build_machine
 from repro.obs.chrome import to_chrome_trace
 from repro.polybench.suite import SCALES, make_app
 
-__all__ = ["trace_main", "run_traced_app"]
+__all__ = ["trace_main", "run_traced_app", "first_kernel_strike_time"]
 
 
-def run_traced_app(app_name: str, scale: str) -> Tuple[object, FluidiCLRuntime, object]:
+def run_traced_app(app_name: str, scale: str,
+                   config: Optional[FluidiCLConfig] = None,
+                   faults: Optional[FaultSchedule] = None
+                   ) -> Tuple[object, FluidiCLRuntime, object]:
     """Execute ``app_name`` at ``scale`` under FluidiCL with tracing on."""
     machine = build_machine(trace=True)
-    runtime = FluidiCLRuntime(machine)
+    runtime = FluidiCLRuntime(machine, config=config)
+    if faults is not None:
+        install_faults(runtime, faults)
     app = make_app(app_name, scale)
     result = app.execute(runtime, check=True)
     runtime.drain()
     return machine, runtime, result
+
+
+def first_kernel_strike_time(app_name: str, scale: str) -> float:
+    """Midpoint of the first kernel's GPU execution span, learned from a
+    fault-free run.
+
+    A fault that should exercise the failover machinery must strike while
+    a kernel is actually executing; outside that window a lost device may
+    hold the sole copy of committed data, which no runtime can recover
+    (see DESIGN.md on the recoverability window).
+    """
+    machine = build_machine()
+    runtime = FluidiCLRuntime(machine)
+    app = make_app(app_name, scale)
+    app.execute(runtime, check=False)
+    runtime.drain()
+    begin, end = runtime.records[0].gpu_span
+    return begin + 0.5 * (end - begin)
+
+
+def _build_fault_schedule(kind: str, at: float, device: str) -> FaultSchedule:
+    """One representative spec per fault class for CLI experimentation."""
+    extras = {
+        FaultKind.DEVICE_STALL: {"duration": 5e-4},
+        FaultKind.DEVICE_LOSS: {},
+        FaultKind.TRANSFER_FAULT: {"direction": "h2d", "count": 2},
+        FaultKind.LINK_DEGRADE: {"factor": 0.25},
+    }
+    fault_kind = FaultKind(kind)
+    return FaultSchedule.single(fault_kind, at=at, device=device,
+                                **extras[fault_kind])
 
 
 def _collect_metrics(runtime: FluidiCLRuntime) -> dict:
@@ -72,10 +110,37 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         "--no-gantt", action="store_true",
         help="skip printing the ASCII Gantt chart",
     )
+    parser.add_argument(
+        "--faults", default=None, metavar="KIND",
+        choices=sorted(k.value for k in FaultKind),
+        help=(
+            "inject one fault of this class (device-stall, device-loss, "
+            "transfer-fault, link-degrade) and watch the runtime degrade "
+            "gracefully in the exported trace"
+        ),
+    )
+    parser.add_argument(
+        "--fault-at", type=float, default=None, metavar="SECONDS",
+        help=(
+            "simulated time the fault strikes (default: midpoint of the "
+            "first kernel's GPU span, learned from a fault-free run)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-device", default="gpu", choices=("gpu", "cpu"),
+        help="device the fault targets (default: gpu)",
+    )
     args = parser.parse_args(argv)
     scale = "test" if args.smoke else args.scale
 
-    machine, runtime, result = run_traced_app(args.app, scale)
+    schedule = None
+    if args.faults is not None:
+        strike = args.fault_at
+        if strike is None:
+            strike = first_kernel_strike_time(args.app, scale)
+        schedule = _build_fault_schedule(args.faults, strike, args.fault_device)
+
+    machine, runtime, result = run_traced_app(args.app, scale, faults=schedule)
     recorder = machine.tracer
     metrics = _collect_metrics(runtime)
     trace = to_chrome_trace(recorder, process_name=f"fluidicl:{args.app}",
@@ -86,6 +151,18 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     print(f"== trace: {args.app} @ {scale} "
           f"({result.elapsed * 1e3:.2f} ms simulated, "
           f"correct={result.correct}) ==")
+    if schedule is not None:
+        for spec in schedule:
+            print(f"  fault: {spec.describe()}")
+        resilience = {
+            k: runtime.stats.extra[k]
+            for k in ("faults_injected", "failovers", "watchdog_trips")
+        }
+        resilience["transfer_retries"] = (
+            runtime.gpu_device.health.transfer_retries
+            + runtime.cpu_device.health.transfer_retries
+        )
+        print(f"  resilience: {resilience}")
     for record in runtime.records:
         print(f"  {record.summary()}")
     if not args.no_gantt:

@@ -19,6 +19,9 @@ kind              meaning
 ``pool``          helper-buffer pool traffic: hit or miss (§6.1)
 ``buffer_read``   a host ``clEnqueueReadBuffer`` with its source device
 ``commit``        a kernel committing its out-buffers (cpu/gpu path)
+``fault``         an injected fault striking, or a transfer being retried
+``failover``      the watchdog degrading a device / the runtime completing
+                  a kernel on the surviving device
 ``generic``       anything else routed through the engine tracer
 ================  ======================================================
 """
@@ -46,6 +49,8 @@ class EventKind(str, enum.Enum):
     POOL = "pool"
     BUFFER_READ = "buffer_read"
     COMMIT = "commit"
+    FAULT = "fault"
+    FAILOVER = "failover"
     GENERIC = "generic"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -52,6 +52,10 @@ _CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
     "pool_miss": (EventKind.POOL, Phase.INSTANT, "pool"),
     "buffer_read": (EventKind.BUFFER_READ, Phase.INSTANT, "runtime"),
     "commit": (EventKind.COMMIT, Phase.INSTANT, "runtime"),
+    "fault_injected": (EventKind.FAULT, Phase.INSTANT, "faults"),
+    "fault_retry": (EventKind.FAULT, Phase.INSTANT, "faults"),
+    "device_degraded": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
+    "failover": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
 }
 
 
@@ -71,6 +75,10 @@ class EventRecorder(Tracer):
         track = payload.get("queue") or payload.get("track") or default_track
         if category in ("pool_hit", "pool_miss"):
             name = category.split("_", 1)[1]  # "hit" / "miss"
+        elif kind in (EventKind.FAULT, EventKind.FAILOVER):
+            # fault events carry their class in the payload ("device-loss",
+            # "transfer", ...); watchdog/failover events name themselves
+            name = str(payload.get("kind", category))
         elif kind is EventKind.GENERIC:
             name = category
         else:

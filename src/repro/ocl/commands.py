@@ -9,6 +9,7 @@ import numpy as np
 from repro.ocl.buffer import Buffer
 from repro.ocl.enums import CommandType
 from repro.ocl.executor import LaunchConfig, run_kernel
+from repro.ocl.health import DeviceLostError
 from repro.ocl.kernel import Kernel
 from repro.ocl.ndrange import NDRange
 
@@ -23,6 +24,68 @@ __all__ = [
 ]
 
 ArraySource = Union[np.ndarray, Callable[[], np.ndarray]]
+
+
+def _transfer(queue, direction: str, nbytes: int, describe: dict) -> Generator:
+    """Occupy the ``direction`` DMA engine for one ``nbytes`` transfer.
+
+    Handles the fault model: stalls park the transfer at its start boundary,
+    injected transient failures cost half a transfer (the point at which the
+    error is noticed) and are retried with exponential backoff up to the
+    device's retry budget, after which the device is declared lost.  The
+    caller performs the actual data copy *after* this returns, so a retried
+    transfer never exposes partially-moved data.
+    """
+    device = queue.device
+    engine = device.engine
+    health = device.health
+    if (yield from health.wait_ready()):
+        raise DeviceLostError(f"{device.name} lost ({health.lost_reason})")
+    resource = getattr(device, direction)
+    request = resource.request()
+    yield request
+    try:
+        attempt = 0
+        while True:
+            if (yield from health.wait_ready()):
+                raise DeviceLostError(
+                    f"{device.name} lost ({health.lost_reason})"
+                )
+            if health.take_transfer_fault(direction):
+                attempt += 1
+                # The failure surfaces partway through the transfer; that
+                # bus time is wasted either way.
+                yield engine.timeout(device.transfer_time(nbytes) / 2.0)
+                if attempt > health.max_transfer_retries:
+                    health.declare_lost(
+                        f"{direction} transfer failed "
+                        f"{attempt} times (retries exhausted)"
+                    )
+                    raise DeviceLostError(
+                        f"{device.name} lost ({health.lost_reason})"
+                    )
+                health.transfer_retries += 1
+                backoff = health.retry_backoff * (2 ** (attempt - 1))
+                engine.trace(
+                    "fault_retry", kind="transfer", queue=queue.name,
+                    device=device.name, direction=direction,
+                    attempt=attempt, backoff=backoff, **describe,
+                )
+                yield engine.timeout(backoff)
+                continue
+            yield engine.timeout(device.transfer_time(nbytes))
+            health.beat()
+            return
+    finally:
+        resource.release(request)
+
+
+def _barrier(health) -> Generator:
+    """Wait out any stall; raise if the device is (or becomes) lost."""
+    if (yield from health.wait_ready()):
+        raise DeviceLostError(
+            f"{health.device_name} lost ({health.lost_reason})"
+        )
 
 
 class Command:
@@ -58,12 +121,7 @@ class WriteBufferCommand(Command):
 
     def run(self, queue) -> Generator:
         device = queue.device
-        request = device.h2d.request()
-        yield request
-        try:
-            yield device.engine.timeout(device.transfer_time(self.nbytes))
-        finally:
-            device.h2d.release(request)
+        yield from _transfer(queue, "h2d", self.nbytes, self.describe())
         data = self.source() if callable(self.source) else self.source
         self.buffer.write_from(data)
         device.stats["bytes_h2d"] += self.nbytes
@@ -84,12 +142,7 @@ class ReadBufferCommand(Command):
 
     def run(self, queue) -> Generator:
         device = queue.device
-        request = device.d2h.request()
-        yield request
-        try:
-            yield device.engine.timeout(device.transfer_time(self.buffer.nbytes))
-        finally:
-            device.d2h.release(request)
+        yield from _transfer(queue, "d2h", self.buffer.nbytes, self.describe())
         self.buffer.read_into(self.dest)
         device.stats["bytes_d2h"] += self.buffer.nbytes
         return self.buffer.nbytes
@@ -117,13 +170,16 @@ class CopyBufferCommand(Command):
 
     def run(self, queue) -> Generator:
         device = queue.device
+        yield from _barrier(device.health)
         request = device.compute.request()
         yield request
         try:
+            yield from _barrier(device.health)
             yield device.engine.timeout(device.device_copy_time(self.src.nbytes))
         finally:
             device.compute.release(request)
         self.dst.copy_from(self.src)
+        device.health.beat()
         return self.src.nbytes
 
     def describe(self) -> dict:
@@ -144,9 +200,11 @@ class KernelCommand(Command):
     def run(self, queue) -> Generator:
         device = queue.device
         self.kernel.check_device(device)
+        yield from _barrier(device.health)
         request = device.compute.request()
         yield request
         try:
+            yield from _barrier(device.health)
             yield device.engine.timeout(device.spec.kernel_launch_overhead)
             began = device.engine.now
             result = yield from run_kernel(
@@ -156,6 +214,15 @@ class KernelCommand(Command):
             device.stats["busy_compute_time"] += device.engine.now - began
         finally:
             device.compute.release(request)
+        # Loss is checked again *after* the waves: even if the compute
+        # finished (e.g. the loss struck mid-wave and the wave ran out),
+        # the results live in the dead device's memory and can never be
+        # read back or merged — the launch is void either way.
+        if result.device_lost or device.health.lost:
+            raise DeviceLostError(
+                f"{device.name} lost mid-kernel "
+                f"({device.health.lost_reason})"
+            )
         return result
 
     def describe(self) -> dict:
@@ -198,6 +265,9 @@ class CallbackCommand(Command):
 
     def run(self, queue) -> Generator:
         device = queue.device
+        # Cancelled callbacks must not run their side effects: a status
+        # message from a lost device never arrives (section 5.3 analogue).
+        yield from _barrier(device.health)
         if self.engine_name is not None:
             resource = getattr(device, self.engine_name)
             request = resource.request()
@@ -209,6 +279,10 @@ class CallbackCommand(Command):
                 resource.release(request)
         elif self.duration > 0:
             yield device.engine.timeout(self.duration)
+        if device.health.lost:
+            raise DeviceLostError(
+                f"{device.name} lost ({device.health.lost_reason})"
+            )
         self.fn(queue)
         return None
 

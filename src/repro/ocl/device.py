@@ -11,6 +11,7 @@ from repro.hw.memory import DeviceMemory
 from repro.hw.specs import DeviceKind, DeviceSpec
 from repro.ocl.buffer import Buffer
 from repro.ocl.enums import MemFlag
+from repro.ocl.health import DeviceHealth
 from repro.sim.core import Engine
 from repro.sim.resources import Resource
 
@@ -37,6 +38,8 @@ class Device:
         self.compute = Resource(engine, capacity=1, name=f"{spec.name}:compute")
         self.h2d = Resource(engine, capacity=1, name=f"{spec.name}:h2d")
         self.d2h = Resource(engine, capacity=1, name=f"{spec.name}:d2h")
+        #: fault-injection / degradation state (inert unless faults installed)
+        self.health = DeviceHealth(engine, spec.name)
         #: running counters for reporting
         self.stats = {
             "kernels_launched": 0,

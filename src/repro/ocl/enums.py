@@ -39,6 +39,9 @@ class CommandStatus(str, enum.Enum):
     QUEUED = "queued"
     RUNNING = "running"
     COMPLETE = "complete"
+    #: the command's device was lost before it could complete; the event
+    #: still *fires* (so waiters never hang) but carries no result
+    CANCELLED = "cancelled"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

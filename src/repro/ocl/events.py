@@ -22,7 +22,7 @@ class CLEvent:
     """
 
     __slots__ = ("id", "command_type", "status", "queued", "started",
-                 "finished", "done", "info", "result")
+                 "finished", "done", "info", "result", "error")
 
     def __init__(self, engine: Engine, command_type: CommandType,
                  info: Optional[dict] = None):
@@ -36,6 +36,8 @@ class CLEvent:
         self.info = dict(info or {})
         #: command-specific result (e.g. kernel execution summary)
         self.result: Any = None
+        #: the error that cancelled this command, if any
+        self.error: Optional[BaseException] = None
 
     def mark_started(self, now: float) -> None:
         self.status = CommandStatus.RUNNING
@@ -47,9 +49,21 @@ class CLEvent:
         self.result = result
         self.done.succeed(self)
 
+    def mark_cancelled(self, now: float, error: BaseException = None) -> None:
+        """The command's device died; fire :attr:`done` anyway so waiters
+        never hang, but record cancellation instead of a result."""
+        self.status = CommandStatus.CANCELLED
+        self.finished = now
+        self.error = error
+        self.done.succeed(self)
+
     @property
     def is_complete(self) -> bool:
         return self.status is CommandStatus.COMPLETE
+
+    @property
+    def cancelled(self) -> bool:
+        return self.status is CommandStatus.CANCELLED
 
     @property
     def duration(self) -> float:

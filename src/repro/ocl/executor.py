@@ -115,6 +115,9 @@ class KernelRunResult:
     end_time: float = 0.0
     split_used: bool = False
     waves: int = 0
+    #: True when the device was lost mid-launch; ``executed`` then holds
+    #: only the waves that completed before the loss
+    device_lost: bool = False
 
     @property
     def executed_groups(self) -> int:
@@ -138,6 +141,7 @@ def run_kernel(
     """
     engine = device.engine
     spec = device.spec
+    health = device.health
     start, end = launch.window(ndrange)
     variant = kernel.variant
     board = launch.status_board if variant.abort_checks else None
@@ -146,6 +150,14 @@ def run_kernel(
 
     n_groups = end - start
     if n_groups == 0:
+        result.end_time = engine.now
+        return result
+
+    # Fault model: stalls and loss are observed at wave boundaries — a wave
+    # already issued runs to completion, matching the check granularity of
+    # everything else in this executor.
+    if (yield from health.wait_ready()):
+        result.device_lost = True
         result.end_time = engine.now
         return result
 
@@ -164,12 +176,16 @@ def run_kernel(
         result.executed.append((start, end))
         result.split_used = True
         result.waves = 1
+        health.beat()
         _finish(device, kernel, ndrange, result, engine.now)
         return result
 
     # -- wave execution -----------------------------------------------------
     i = start
     while i < end:
+        if (yield from health.wait_ready()):
+            result.device_lost = True
+            break
         frontier = board.frontier if board is not None else end
         if frontier <= i:
             # Every remaining work-group is already CPU-complete: the
@@ -198,6 +214,7 @@ def run_kernel(
         else:
             yield engine.timeout(spec.wave_overhead + t_wg)
             result.executed.append((i, j))
+        health.beat()
         i = i_next
 
     _finish(device, kernel, ndrange, result, engine.now)

@@ -1,0 +1,139 @@
+"""Per-device health state: stalls, loss, and injected transfer faults.
+
+Every :class:`~repro.ocl.device.Device` carries a :class:`DeviceHealth`.
+In a fault-free run it is inert (``ok`` is always True and every check is a
+cheap attribute read).  The fault-injection subsystem (:mod:`repro.faults`)
+mutates it from wrapper processes; the command layer consults it:
+
+* a **stall** freezes the device's engines until a known simulated time —
+  commands park at their next quantization boundary (wave start, transfer
+  start) and resume when the stall clears;
+* a **lost** device never comes back — commands on its queues raise
+  :class:`DeviceLostError`, which the queue turns into a *cancelled*
+  command event so nothing waits on it forever;
+* an injected **transient transfer fault** makes the next enqueued H2D/D2H
+  attempts fail mid-flight; the transfer commands retry with bounded
+  exponential backoff before escalating to device loss.
+
+``last_progress`` is a heartbeat the executor and queues refresh on every
+completed wave/command; the runtime watchdog reads it to tell "slow" from
+"stuck".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.core import Engine
+from repro.sim.sync import Gate
+
+__all__ = ["DeviceLostError", "DeviceHealth"]
+
+
+class DeviceLostError(RuntimeError):
+    """A command targeted a device that has been lost (or was declared lost
+    mid-command, e.g. after exhausting transfer retries)."""
+
+
+class DeviceHealth:
+    """Mutable health state of one device (see module docstring)."""
+
+    def __init__(self, engine: Engine, device_name: str):
+        self.engine = engine
+        self.device_name = device_name
+        #: permanently gone; never reset
+        self.lost = False
+        self.lost_reason = ""
+        #: simulated time until which the device makes no progress
+        self._stalled_until = 0.0
+        #: fired when the device is declared lost (wakes stall waiters so
+        #: they observe the escalation instead of sleeping out the stall)
+        self._lost_gate = Gate(engine, name=f"lost:{device_name}")
+        #: heartbeat: last simulated time the device completed any work
+        self.last_progress = 0.0
+        #: injected transient failures still pending, per DMA direction
+        self._pending_transfer_faults: Dict[str, int] = {"h2d": 0, "d2h": 0}
+        #: bounded-retry policy for injected transfer failures (the runtime
+        #: overrides these from its config)
+        self.max_transfer_retries = 4
+        self.retry_backoff = 2e-5
+        # -- counters for observability ----------------------------------
+        self.faults_injected = 0
+        self.transfer_retries = 0
+
+    # -- state queries -----------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when the device is executing normally right now."""
+        return not self.lost and self.engine.now >= self._stalled_until
+
+    @property
+    def stalled(self) -> bool:
+        return not self.lost and self.engine.now < self._stalled_until
+
+    def beat(self) -> None:
+        """Record forward progress (called per completed wave/command)."""
+        self.last_progress = self.engine.now
+
+    # -- fault application (called by repro.faults / the watchdog) ---------
+    def stall(self, duration: float) -> None:
+        """Freeze the device for ``duration`` seconds from now."""
+        if duration < 0:
+            raise ValueError("stall duration must be >= 0")
+        if self.lost:
+            return
+        self.faults_injected += 1
+        self._stalled_until = max(
+            self._stalled_until, self.engine.now + duration
+        )
+
+    def declare_lost(self, reason: str = "") -> None:
+        """Mark the device permanently gone; idempotent."""
+        if self.lost:
+            return
+        self.lost = True
+        self.lost_reason = reason
+        self.faults_injected += 1
+        self._lost_gate.fire(reason)
+
+    def inject_transfer_faults(self, direction: str, count: int = 1) -> None:
+        """Make the next ``count`` transfers in ``direction`` fail once each."""
+        if direction not in self._pending_transfer_faults:
+            raise ValueError(f"unknown DMA direction {direction!r}")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.faults_injected += count
+        self._pending_transfer_faults[direction] += count
+
+    # -- command-layer hooks -----------------------------------------------
+    def take_transfer_fault(self, direction: str) -> bool:
+        """Consume one pending injected failure; True if this attempt fails."""
+        pending = self._pending_transfer_faults.get(direction, 0)
+        if pending > 0:
+            self._pending_transfer_faults[direction] = pending - 1
+            return True
+        return False
+
+    def pending_transfer_faults(self, direction: str) -> int:
+        return self._pending_transfer_faults.get(direction, 0)
+
+    def wait_ready(self):
+        """Generator: wait out any stall.  Returns True if the device is
+        (or becomes) lost while waiting, False once it is ready."""
+        while True:
+            if self.lost:
+                return True
+            remaining = self._stalled_until - self.engine.now
+            if remaining <= 0:
+                return False
+            # Sleep until the stall clears — or until a loss declaration
+            # (injected, or watchdog escalation) interrupts the wait.
+            yield self.engine.any_of([
+                self.engine.timeout(remaining),
+                self._lost_gate.wait(),
+            ])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("lost" if self.lost
+                 else "stalled" if self.stalled else "ok")
+        return f"<DeviceHealth {self.device_name} {state}>"

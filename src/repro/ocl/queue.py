@@ -18,6 +18,7 @@ from repro.ocl.commands import (
 )
 from repro.ocl.device import Device
 from repro.ocl.events import CLEvent
+from repro.ocl.health import DeviceLostError
 from repro.ocl.executor import LaunchConfig
 from repro.ocl.kernel import Kernel
 from repro.ocl.ndrange import NDRange
@@ -69,14 +70,29 @@ class CommandQueue:
                 type=str(command.command_type),
                 **command.describe(),
             )
-            result = yield from command.run(self)
-            event.mark_finished(engine.now, result)
-            engine.trace(
-                "cmd_end",
-                queue=self.name,
-                type=str(command.command_type),
-                **command.describe(),
-            )
+            try:
+                result = yield from command.run(self)
+            except DeviceLostError as err:
+                # The device died under this command.  Cancel (the event
+                # still fires so nothing waits forever) and keep draining:
+                # every later command cancels instantly the same way, so
+                # finish()/drain() on a dead device completes immediately.
+                event.mark_cancelled(engine.now, err)
+                engine.trace(
+                    "cmd_end",
+                    queue=self.name,
+                    type=str(command.command_type),
+                    cancelled=True,
+                    **command.describe(),
+                )
+            else:
+                event.mark_finished(engine.now, result)
+                engine.trace(
+                    "cmd_end",
+                    queue=self.name,
+                    type=str(command.command_type),
+                    **command.describe(),
+                )
 
     # -- convenience wrappers (the familiar clEnqueue* calls) ----------------
     def enqueue_write_buffer(self, buffer, source,

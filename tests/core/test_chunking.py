@@ -74,6 +74,28 @@ class TestAdaptiveGrowth:
         assert chunker.history == [(chunk, 1.0 / chunk)]
 
 
+class TestSmallRanges:
+    def test_step_never_rounds_to_zero(self):
+        """Regression: tiny total_groups rounded the growth step to 0,
+        silently disabling adaptation despite step_fraction > 0."""
+        chunker = make(total=3, cu=1, initial=0.34, step=0.1)
+        assert chunker.step >= 1
+        first = chunker.next_chunk(3)
+        chunker.observe(first, first * 1.0)
+        assert chunker.still_growing
+        assert chunker.chunk > first, "growth must actually move the chunk"
+
+    def test_single_group_range(self):
+        chunker = make(total=1, cu=1, initial=0.1, step=0.1)
+        assert chunker.step == 1
+        assert chunker.next_chunk(1) == 1
+
+    def test_zero_step_fraction_still_means_disabled(self):
+        chunker = make(total=3, cu=1, step=0.0)
+        assert chunker.step == 0
+        assert not chunker.still_growing
+
+
 class TestValidation:
     def test_bad_total(self):
         with pytest.raises(ValueError):

@@ -43,7 +43,7 @@ class TestExtensionExperiments:
     def test_registry(self):
         assert set(EXTENSION_EXPERIMENTS) == {
             "ext_pool", "ext_wgsplit", "ext_location", "ext_suite",
-            "ext_phi", "ext_load", "ext_machines",
+            "ext_phi", "ext_load", "ext_machines", "ext_faults",
         }
 
     def test_run_experiment_dispatches_extensions(self):
