@@ -1,0 +1,41 @@
+"""Schedule-space fuzzing and coherence checking for the FluidiCL runtime.
+
+The package has three parts:
+
+* :mod:`repro.check.monitor` — :class:`CoherenceMonitor`, an online
+  invariant checker subscribed to the typed event stream;
+* :mod:`repro.check.fuzzer` — :class:`ScheduleFuzzer` (seed →
+  :class:`FuzzConfig`) and :func:`run_config` (one checked run);
+* :mod:`repro.check.shrink` — greedy minimization of failing configs and
+  pytest reproducer emission.
+
+``python -m repro.harness check --seeds N`` runs a bounded campaign.
+"""
+
+from repro.check.fuzzer import (
+    CORRUPTION_KINDS,
+    CheckResult,
+    FuzzConfig,
+    ScheduleFuzzer,
+    run_config,
+)
+from repro.check.monitor import (
+    CoherenceMonitor,
+    InvariantViolationError,
+    Violation,
+)
+from repro.check.shrink import ShrinkResult, reproducer_source, shrink
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "CheckResult",
+    "CoherenceMonitor",
+    "FuzzConfig",
+    "InvariantViolationError",
+    "ScheduleFuzzer",
+    "ShrinkResult",
+    "Violation",
+    "reproducer_source",
+    "run_config",
+    "shrink",
+]

@@ -1,0 +1,275 @@
+"""Seeded schedule-space fuzzing of the FluidiCL runtime.
+
+A :class:`ScheduleFuzzer` deterministically expands an integer seed into a
+:class:`FuzzConfig` — a frozen, self-describing draw over the schedule
+space: device-speed ratios, chunker parameters, optimization toggles,
+same-instant queue interleaving jitter and a fault schedule.
+:func:`run_config` executes one such configuration end to end on a fresh
+simulated machine with a :class:`~repro.check.monitor.CoherenceMonitor`
+attached and the NumPy oracle checking the result.
+
+Everything is reproducible: the same seed always draws the same config,
+and the same config always produces the same simulated run (the jitter is
+itself a seeded tie-break, see ``Engine.set_interleave_jitter``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.check.monitor import CoherenceMonitor, Violation
+from repro.core.config import FluidiCLConfig
+from repro.core.runtime import FluidiCLRuntime
+from repro.faults.injector import install_faults
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.hw.machine import build_machine
+from repro.hw.specs import TESLA_C2070, XEON_W3550
+from repro.obs.events import TraceEvent
+from repro.ocl.health import DeviceLostError
+from repro.polybench.common import DEFAULT_RTOL
+from repro.polybench.suite import EXTENDED_SUITE, SCALES, make_app
+
+__all__ = ["FuzzConfig", "CheckResult", "ScheduleFuzzer", "run_config",
+           "CORRUPTION_KINDS"]
+
+#: smallest problem size the fuzzer will draw (all apps need multiples of 32)
+MIN_SIZE = 64
+
+#: test-only corruptions injectable through :attr:`FuzzConfig.corruption`
+CORRUPTION_KINDS = ("overlap-window", "stale-read", "frontier-jump")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One reproducible point in the schedule space.
+
+    ``corruption`` is a test-only hook: it names a known-bad event
+    perturbation (:data:`CORRUPTION_KINDS`) that is replayed into the
+    monitor during the run, to validate end to end that the checker
+    catches, shrinks and reports real coherence bugs.  It is never drawn
+    by the fuzzer.
+    """
+
+    seed: int
+    app: str = "gesummv"
+    size: int = 256
+    gpu_scale: float = 1.0
+    cpu_scale: float = 1.0
+    initial_chunk_fraction: float = 0.10
+    chunk_step_fraction: float = 0.10
+    abort_in_loops: bool = True
+    loop_unroll: bool = True
+    cpu_wg_split: bool = True
+    use_buffer_pool: bool = True
+    location_tracking: bool = True
+    online_profiling: bool = False
+    jitter_seed: Optional[int] = None
+    faults: Tuple[FaultSpec, ...] = ()
+    corruption: Optional[str] = None
+
+    def describe(self) -> str:
+        bits = [f"seed={self.seed}", f"{self.app}@{self.size}",
+                f"gpu×{self.gpu_scale:.2f}", f"cpu×{self.cpu_scale:.2f}",
+                f"chunk={self.initial_chunk_fraction:.2f}"
+                f"+{self.chunk_step_fraction:.2f}"]
+        if self.jitter_seed is not None:
+            bits.append(f"jitter={self.jitter_seed}")
+        if self.faults:
+            bits.append(f"faults={len(self.faults)}")
+        if self.corruption:
+            bits.append(f"corruption={self.corruption}")
+        return " ".join(bits)
+
+    def runtime_config(self) -> FluidiCLConfig:
+        return FluidiCLConfig(
+            initial_chunk_fraction=self.initial_chunk_fraction,
+            chunk_step_fraction=self.chunk_step_fraction,
+            abort_in_loops=self.abort_in_loops,
+            loop_unroll=self.loop_unroll,
+            cpu_wg_split=self.cpu_wg_split,
+            use_buffer_pool=self.use_buffer_pool,
+            location_tracking=self.location_tracking,
+            online_profiling=self.online_profiling,
+        )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one :class:`FuzzConfig`."""
+
+    config: FuzzConfig
+    #: "ok" — run completed; "device-lost" — graceful degradation exhausted
+    #: both devices (an accepted outcome, §4.2 failover has nothing left to
+    #: fail over to); "error" — the runtime crashed, always a failure
+    outcome: str
+    violations: List[Violation] = field(default_factory=list)
+    correct: Optional[bool] = None
+    max_relative_error: float = 0.0
+    elapsed: float = 0.0
+    wall_seconds: float = 0.0
+    events: int = 0
+    checks: int = 0
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return (bool(self.violations) or self.outcome == "error"
+                or self.correct is False)
+
+    def summary(self) -> str:
+        status = "FAIL" if self.failed else self.outcome
+        extra = ""
+        if self.violations:
+            extra = f" {len(self.violations)} violation(s)"
+        elif self.correct is False:
+            extra = f" wrong result (err={self.max_relative_error:.2e})"
+        elif self.error:
+            extra = f" {self.error}"
+        return (f"{status:11s} {self.config.app:8s} n={self.config.size:<4d} "
+                f"checks={self.checks:<5d} events={self.events:<6d}"
+                f"{extra}")
+
+
+class ScheduleFuzzer:
+    """Deterministic seed → :class:`FuzzConfig` expansion."""
+
+    def __init__(self, apps: Sequence[str] = EXTENDED_SUITE,
+                 scale: str = "test", faults: bool = True,
+                 jitter: bool = True):
+        self.apps = tuple(apps)
+        self.scale = scale
+        self.faults = faults
+        self.jitter = jitter
+
+    def config(self, seed: int) -> FuzzConfig:
+        rng = random.Random(f"fluidicl-check:{seed}")
+        # round-robin the apps so any seed range covers the whole suite
+        app = self.apps[seed % len(self.apps)]
+        base = SCALES[self.scale][app]
+        size = max(MIN_SIZE, rng.choice((base, base // 2)))
+        jitter_seed = None
+        if self.jitter and rng.random() < 0.75:
+            jitter_seed = rng.randrange(2 ** 31)
+        faults: Tuple[FaultSpec, ...] = ()
+        if self.faults and rng.random() < 0.5:
+            schedule = FaultSchedule.seeded(
+                seed=rng.randrange(2 ** 31),
+                window=(0.0, 2e-3),
+                n=rng.randint(1, 2),
+                devices=("gpu", "cpu"),
+            )
+            faults = tuple(schedule)
+        return FuzzConfig(
+            seed=seed,
+            app=app,
+            size=size,
+            gpu_scale=round(2 ** rng.uniform(-2, 2), 4),
+            cpu_scale=round(2 ** rng.uniform(-2, 2), 4),
+            initial_chunk_fraction=round(rng.uniform(0.02, 0.5), 4),
+            chunk_step_fraction=round(rng.uniform(0.0, 0.4), 4),
+            abort_in_loops=rng.random() < 0.9,
+            loop_unroll=rng.random() < 0.9,
+            cpu_wg_split=rng.random() < 0.9,
+            use_buffer_pool=rng.random() < 0.9,
+            location_tracking=rng.random() < 0.9,
+            online_profiling=rng.random() < 0.1,
+            jitter_seed=jitter_seed,
+            faults=faults,
+        )
+
+    def configs(self, n: int, start: int = 0) -> List[FuzzConfig]:
+        return [self.config(seed) for seed in range(start, start + n)]
+
+
+class _Corruptor:
+    """Test-only event perturbation feeding fabricated events into the
+    monitor, to prove the checker catches real coherence bugs.
+
+    Registered *after* the monitor, so the genuine event is always
+    processed first and only the fabricated follow-up is corrupt.
+    """
+
+    def __init__(self, monitor: CoherenceMonitor, kind: str):
+        if kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"unknown corruption {kind!r}; have {CORRUPTION_KINDS}")
+        self.monitor = monitor
+        self.kind = kind
+        self.fired = False
+
+    def __call__(self, event: TraceEvent) -> None:
+        if self.fired:
+            return
+        fake_attrs = None
+        if self.kind == "overlap-window" and event.category == "subkernel_launch":
+            # replay the same window: overlaps the front it just extended
+            fake_attrs = dict(event.attrs)
+        elif self.kind == "stale-read" and event.category == "commit":
+            # pretend a read served a long-superseded version
+            buffers = event.get("buffers") or ()
+            if buffers:
+                self.fired = True
+                self.monitor.observe(replace(
+                    event, category="buffer_read",
+                    attrs={"buffer": buffers[0], "version": -1},
+                ))
+            return
+        elif self.kind == "frontier-jump" and event.category == "status_delivery":
+            if event.get("accepted", False):
+                # repeat the frontier: breaks strict monotonic descent
+                fake_attrs = dict(event.attrs)
+        if fake_attrs is not None:
+            self.fired = True
+            self.monitor.observe(replace(event, attrs=fake_attrs))
+
+
+def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL) -> CheckResult:
+    """Execute one fuzz configuration and check every invariant."""
+    wall_start = time.perf_counter()
+    machine = build_machine(
+        gpu=TESLA_C2070.scaled(config.gpu_scale),
+        cpu=XEON_W3550.scaled(config.cpu_scale),
+        trace=True,
+        interleave_seed=config.jitter_seed,
+    )
+    runtime = FluidiCLRuntime(machine, config=config.runtime_config())
+    monitor = CoherenceMonitor().attach(machine.tracer)
+    if config.corruption:
+        machine.tracer.add_listener(_Corruptor(monitor, config.corruption))
+    if config.faults:
+        install_faults(runtime, FaultSchedule(list(config.faults)))
+    app = make_app(config.app, scale="test", size=config.size)
+
+    outcome = "ok"
+    correct: Optional[bool] = None
+    max_err = 0.0
+    elapsed = 0.0
+    error: Optional[str] = None
+    try:
+        result = app.execute(runtime, check=True, rtol=rtol)
+        runtime.drain()
+        correct = result.correct
+        max_err = result.max_relative_error
+        elapsed = result.elapsed
+    except DeviceLostError as err:
+        outcome = "device-lost"
+        error = str(err)
+    except Exception as err:  # noqa: BLE001 - any crash is a finding
+        outcome = "error"
+        error = f"{type(err).__name__}: {err}"
+    monitor.final_check(aborted=(outcome != "ok"))
+    return CheckResult(
+        config=config,
+        outcome=outcome,
+        violations=list(monitor.violations),
+        correct=correct,
+        max_relative_error=max_err,
+        elapsed=elapsed,
+        wall_seconds=time.perf_counter() - wall_start,
+        events=len(machine.tracer.events),
+        checks=monitor.checks,
+        error=error,
+    )

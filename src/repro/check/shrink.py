@@ -1,0 +1,178 @@
+"""Greedy shrinking of failing fuzz configurations.
+
+When a seed fails — an invariant violation, a wrong result, or a crash —
+the raw :class:`~repro.check.fuzzer.FuzzConfig` is usually noisy: faults
+that don't matter, jitter that doesn't matter, an app bigger than needed.
+:func:`shrink` walks a fixed candidate order (drop faults one by one,
+disable jitter, normalize device speeds, restore default chunking and
+optimization toggles, swap to the single-kernel ``gesummv``, halve the
+problem size) and greedily accepts any simplification that still fails,
+restarting until a fixed point: a *minimal reproducer*.
+
+:func:`reproducer_source` renders that minimal config as a ready-to-paste
+pytest case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Callable, Iterator, List, Optional
+
+from repro.check.fuzzer import CheckResult, FuzzConfig, run_config
+
+__all__ = ["ShrinkResult", "shrink", "reproducer_source"]
+
+#: problem-size floor during shrinking; every app accepts multiples of 32
+_MIN_SIZE = 64
+
+#: the single-kernel benchmark every app-independent failure reduces to
+_SIMPLEST_APP = "gesummv"
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing configuration."""
+
+    original: FuzzConfig
+    minimal: FuzzConfig
+    #: the check result of the minimal config (still failing)
+    result: CheckResult
+    #: total configurations executed while shrinking
+    runs: int = 0
+    #: human-readable log of accepted simplifications
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def reduced(self) -> bool:
+        return self.minimal != self.original
+
+
+def _candidates(config: FuzzConfig) -> Iterator[tuple]:
+    """Yield ``(description, simplified_config)`` pairs, cheapest win first."""
+    for i, fault in enumerate(config.faults):
+        remaining = config.faults[:i] + config.faults[i + 1:]
+        yield (f"drop fault {fault.kind.value}@{fault.at:.4g}s",
+               replace(config, faults=remaining))
+    if config.jitter_seed is not None:
+        yield "disable interleave jitter", replace(config, jitter_seed=None)
+    if config.gpu_scale != 1.0:
+        yield "reset gpu_scale to 1.0", replace(config, gpu_scale=1.0)
+    if config.cpu_scale != 1.0:
+        yield "reset cpu_scale to 1.0", replace(config, cpu_scale=1.0)
+    if (config.initial_chunk_fraction, config.chunk_step_fraction) != (0.10, 0.10):
+        yield ("reset chunker to defaults",
+               replace(config, initial_chunk_fraction=0.10,
+                       chunk_step_fraction=0.10))
+    defaults = {
+        "abort_in_loops": True, "loop_unroll": True, "cpu_wg_split": True,
+        "use_buffer_pool": True, "location_tracking": True,
+        "online_profiling": False,
+    }
+    for name, default in defaults.items():
+        if getattr(config, name) != default:
+            yield (f"reset {name} to {default}",
+                   replace(config, **{name: default}))
+    if config.app != _SIMPLEST_APP:
+        yield (f"swap app {config.app} -> {_SIMPLEST_APP}",
+               replace(config, app=_SIMPLEST_APP))
+    half = config.size // 2
+    if half >= _MIN_SIZE and half % 32 == 0:
+        yield f"halve size {config.size} -> {half}", replace(config, size=half)
+
+
+def shrink(config: FuzzConfig,
+           run_fn: Callable[[FuzzConfig], CheckResult] = run_config,
+           max_runs: int = 48,
+           baseline: Optional[CheckResult] = None) -> ShrinkResult:
+    """Greedily minimize a failing config; fixed point or budget exhaustion.
+
+    ``run_fn`` exists for tests (stub runners); ``baseline`` avoids
+    re-running the original config when its result is already known.
+    """
+    result = baseline if baseline is not None else run_fn(config)
+    runs = 0 if baseline is not None else 1
+    if not result.failed:
+        return ShrinkResult(original=config, minimal=config, result=result,
+                            runs=runs, steps=["original does not fail"])
+    current, current_result = config, result
+    steps: List[str] = []
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for description, candidate in _candidates(current):
+            if runs >= max_runs:
+                break
+            candidate_result = run_fn(candidate)
+            runs += 1
+            if candidate_result.failed:
+                current, current_result = candidate, candidate_result
+                steps.append(description)
+                progress = True
+                break  # restart the scan from the simplified config
+    return ShrinkResult(original=config, minimal=current,
+                        result=current_result, runs=runs, steps=steps)
+
+
+def _format_value(value) -> str:
+    """An eval-able literal for a FuzzConfig field value."""
+    if isinstance(value, tuple):  # the fault schedule
+        inner = ", ".join(_format_fault(f) for f in value)
+        return f"({inner},)" if value else "()"
+    return repr(value)
+
+
+def _format_fault(fault) -> str:
+    parts = [f"FaultKind.{fault.kind.name}", f"at={fault.at!r}",
+             f"device={fault.device!r}"]
+    if fault.kind.name == "DEVICE_STALL":
+        parts.append(f"duration={fault.duration!r}")
+    elif fault.kind.name == "TRANSFER_FAULT":
+        parts.append(f"direction={fault.direction!r}")
+        parts.append(f"count={fault.count!r}")
+    elif fault.kind.name == "LINK_DEGRADE":
+        parts.append(f"factor={fault.factor!r}")
+    return f"FaultSpec({', '.join(parts)})"
+
+
+def format_config(config: FuzzConfig, indent: str = "        ") -> str:
+    """Render a config as an eval-able constructor call, defaults omitted."""
+    default = FuzzConfig(seed=config.seed)
+    lines = []
+    for f in fields(FuzzConfig):
+        value = getattr(config, f.name)
+        if f.name != "seed" and value == getattr(default, f.name):
+            continue
+        lines.append(f"{indent}{f.name}={_format_value(value)},")
+    body = "\n".join(lines)
+    return f"FuzzConfig(\n{body}\n{indent[:-4]})"
+
+
+def reproducer_source(shrunk: ShrinkResult) -> str:
+    """A ready-to-paste pytest case reproducing the minimal failure."""
+    config = shrunk.minimal
+    needs_faults = bool(config.faults)
+    imports = ["from repro.check import FuzzConfig, run_config"]
+    if needs_faults:
+        imports.append("from repro.faults import FaultKind, FaultSpec")
+    what = "; ".join(str(v) for v in shrunk.result.violations[:3]) \
+        or shrunk.result.error or "wrong result"
+    steps = "\n".join(f"#   - {s}" for s in shrunk.steps) or "#   (already minimal)"
+    return f'''"""Auto-generated minimal reproducer (repro.check shrinker).
+
+Original failing seed: {shrunk.original.seed}
+Observed failure: {what}
+Shrink steps applied ({shrunk.runs} runs):
+{steps}
+"""
+
+{chr(10).join(imports)}
+
+
+def test_fluidicl_check_seed_{shrunk.original.seed}():
+    config = {format_config(config)}
+    result = run_config(config)
+    assert result.outcome != "error", result.error
+    assert not result.violations, "\\n".join(str(v) for v in result.violations)
+    assert result.correct is not False, (
+        f"wrong result, max relative error {{result.max_relative_error:.3e}}")
+'''

@@ -25,7 +25,7 @@ __all__ = ["MERGE_LOCAL_SIZE", "build_merge_kernel", "merge_ndrange"]
 MERGE_LOCAL_SIZE = 4096
 
 
-def _merge_body(ctx) -> None:
+def _merge_body(ctx, on_diff=None, itemsize: int = 0) -> None:
     lo, hi = ctx.item_range(0)
     n = int(ctx["number_elems"])
     hi = min(hi, n)
@@ -36,14 +36,22 @@ def _merge_body(ctx) -> None:
     gpu_flat = ctx["gpu_buf"].reshape(-1)[lo:hi]
     changed = cpu_flat != orig_flat
     gpu_flat[changed] = cpu_flat[changed]
+    if on_diff is not None:
+        on_diff(int(changed.sum()) * itemsize)
 
 
-def build_merge_kernel(nbytes: int, itemsize: int) -> KernelSpec:
+def build_merge_kernel(nbytes: int, itemsize: int, on_diff=None) -> KernelSpec:
     """A merge kernel spec sized for a buffer of ``nbytes``.
 
     Per work-group it streams three inputs and (worst case) one output of
     ``MERGE_LOCAL_SIZE`` elements; it is bandwidth-bound and coalesces
     perfectly, so it runs at high efficiency on the GPU.
+
+    ``on_diff``, when given, is called once per merge work-group with the
+    number of bytes that group actually copied from the CPU data — the
+    byte accounting behind the runtime's ``merge_done`` events (and the
+    :mod:`repro.check` merge-coverage invariant).  It is observability
+    only: the merge semantics are identical with or without it.
     """
     per_group_bytes = MERGE_LOCAL_SIZE * itemsize
     cost = WorkGroupCost(
@@ -54,6 +62,12 @@ def build_merge_kernel(nbytes: int, itemsize: int) -> KernelSpec:
         compute_efficiency={"cpu": 0.5, "gpu": 0.9},
         memory_efficiency={"cpu": 0.5, "gpu": 0.9},
     )
+    if on_diff is None:
+        body = _merge_body
+    else:
+        def body(ctx, _cb=on_diff, _size=itemsize):
+            _merge_body(ctx, on_diff=_cb, itemsize=_size)
+
     return KernelSpec(
         name="fluidicl_merge",
         args=(
@@ -62,7 +76,7 @@ def build_merge_kernel(nbytes: int, itemsize: int) -> KernelSpec:
             buffer_arg("gpu_buf", Intent.INOUT),
             scalar_arg("number_elems"),
         ),
-        body=_merge_body,
+        body=body,
         cost=cost,
     )
 

@@ -172,6 +172,8 @@ class FluidiCLRuntime(AbstractRuntime):
                 handle.cpu, snapshot
             )
         handle.commit_host_write(version, gpu=gpu_ok, cpu=cpu_ok)
+        self.engine.trace("buffer_write", buffer=handle.name, version=version,
+                          nbytes=handle.nbytes, gpu=gpu_ok, cpu=cpu_ok)
         self.stats.writes += 1
 
     def enqueue_read_buffer(self, handle: FluidiBuffer,
@@ -205,7 +207,7 @@ class FluidiCLRuntime(AbstractRuntime):
                 f"buffer {handle.name!r} has no coherent copy anywhere"
             )
         self.engine.trace("buffer_read", buffer=handle.name, source=source,
-                          nbytes=handle.nbytes)
+                          nbytes=handle.nbytes, version=handle.latest)
         if self.config.watchdog:
             KernelWatchdog(self, device, event.done,
                            self.config.watchdog_timeout,
@@ -503,7 +505,8 @@ class FluidiCLRuntime(AbstractRuntime):
         record.cpu_completed_all = True
         record.cpu_groups = plan.ndrange.total_groups
         record.gpu_groups = 0
-        self.engine.trace("commit", kernel_id=plan.kernel_id, path="failover")
+        self.engine.trace("commit", kernel_id=plan.kernel_id, path="failover",
+                          buffers=[f.name for f in plan.out_fbuffers])
         # The hd queue drains instantly (every pending send cancels), after
         # which nothing references the helper buffers; the usual release
         # callback cannot be used because callbacks on a lost device are
@@ -520,7 +523,8 @@ class FluidiCLRuntime(AbstractRuntime):
         for fbuf in plan.out_fbuffers:
             fbuf.commit_cpu(plan.kernel_id)
         self.engine.trace("commit", kernel_id=plan.kernel_id,
-                          path="cpu-complete")
+                          path="cpu-complete",
+                          buffers=[f.name for f in plan.out_fbuffers])
         self._release_helpers_after_hd_drain(plan)
 
     def _merge_and_commit(self, plan: _KernelPlan) -> None:
@@ -563,14 +567,17 @@ class FluidiCLRuntime(AbstractRuntime):
             fbuf.commit_gpu(plan.kernel_id)
             fbuf.dh_pending = True
         self.engine.trace("commit", kernel_id=plan.kernel_id,
-                          path="merged" if record.merged else "gpu-only")
+                          path="merged" if record.merged else "gpu-only",
+                          buffers=[f.name for f in plan.out_fbuffers])
 
         self._spawn_dh_thread(plan, readback)
         self._release_helpers_after_hd_drain(plan)
 
     def _enqueue_merge(self, plan: _KernelPlan, fbuf: FluidiBuffer) -> None:
         count = int(np.prod(fbuf.shape, dtype=np.int64))
-        merge_spec = build_merge_kernel(fbuf.nbytes, fbuf.dtype.itemsize)
+        merged_bytes: List[int] = []
+        merge_spec = build_merge_kernel(fbuf.nbytes, fbuf.dtype.itemsize,
+                                        on_diff=merged_bytes.append)
         merge_kernel = Kernel(
             plain_variant(merge_spec),
             {
@@ -580,7 +587,18 @@ class FluidiCLRuntime(AbstractRuntime):
                 "number_elems": count,
             },
         )
-        self.app_queue.enqueue_nd_range_kernel(merge_kernel, merge_ndrange(count))
+        merge_event = self.app_queue.enqueue_nd_range_kernel(
+            merge_kernel, merge_ndrange(count)
+        )
+
+        def report(_done, kernel_id=plan.kernel_id, fbuf=fbuf):
+            self.engine.trace(
+                "merge_done", kernel_id=kernel_id, buffer=fbuf.name,
+                nbytes_merged=sum(merged_bytes), nbytes_buffer=fbuf.nbytes,
+                cancelled=merge_event.cancelled,
+            )
+
+        merge_event.done.add_callback(report)
 
     def _spawn_dh_thread(self, plan: _KernelPlan, readback: Dict[str, Buffer]) -> None:
         """Device-to-host thread (§5.6), one per kernel, runs in background."""

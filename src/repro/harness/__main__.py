@@ -5,6 +5,9 @@ Subcommands:
 - ``python -m repro.harness trace [--smoke] [--app NAME] [--out PATH]`` —
   run one benchmark under FluidiCL and export its execution timeline as
   Chrome-trace JSON (see :mod:`repro.harness.trace_cli`).
+- ``python -m repro.harness check [--seeds N] [--budget-s S]`` — run a
+  bounded schedule-space fuzzing campaign with online coherence checking
+  (see :mod:`repro.harness.check_cli` and :mod:`repro.check`).
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import argparse
 import sys
 import time
 
+from repro.harness.check_cli import check_main
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.harness.extensions import EXTENSION_EXPERIMENTS
 from repro.harness.trace_cli import trace_main
@@ -23,12 +27,16 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "check":
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the FluidiCL paper's tables and figures.",
         epilog=(
-            "Subcommand: 'trace' exports a Chrome-trace timeline of one "
-            "FluidiCL run (python -m repro.harness trace --help)."
+            "Subcommands: 'trace' exports a Chrome-trace timeline of one "
+            "FluidiCL run (python -m repro.harness trace --help); 'check' "
+            "runs a schedule-space fuzzing campaign with online coherence "
+            "checking (python -m repro.harness check --help)."
         ),
     )
     parser.add_argument(

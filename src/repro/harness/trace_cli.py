@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from typing import List, Optional, Tuple
 
 from repro.core.config import FluidiCLConfig
@@ -22,6 +23,9 @@ from repro.obs.chrome import to_chrome_trace
 from repro.polybench.suite import SCALES, make_app
 
 __all__ = ["trace_main", "run_traced_app", "first_kernel_strike_time"]
+
+#: generated artifacts live under ./out/ (git-ignored), not the repo root
+DEFAULT_TRACE_OUT = os.path.join("out", "fluidicl.trace.json")
 
 
 def run_traced_app(app_name: str, scale: str,
@@ -103,8 +107,8 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         help="tiny run for CI: forces --scale test",
     )
     parser.add_argument(
-        "--out", default="fluidicl-trace.json", metavar="PATH",
-        help="Chrome-trace JSON output path (default: fluidicl-trace.json)",
+        "--out", default=DEFAULT_TRACE_OUT, metavar="PATH",
+        help=f"Chrome-trace JSON output path (default: {DEFAULT_TRACE_OUT})",
     )
     parser.add_argument(
         "--no-gantt", action="store_true",
@@ -145,6 +149,9 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     metrics = _collect_metrics(runtime)
     trace = to_chrome_trace(recorder, process_name=f"fluidicl:{args.app}",
                             metrics=metrics)
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(trace, handle, indent=1)
 

@@ -7,6 +7,7 @@ The OpenCL layer (:mod:`repro.ocl`) instantiates live devices from it.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -63,6 +64,7 @@ def build_machine(
     cpu_link: InterconnectSpec = HOST_DDR3,
     host: HostSpec = DEFAULT_HOST,
     trace: bool = False,
+    interleave_seed: Optional[int] = None,
 ) -> Machine:
     """The default testbed: Tesla C2070 over PCIe 2.0 + Xeon W3550.
 
@@ -70,9 +72,13 @@ def build_machine(
     ``trace=True`` the engine records into an
     :class:`~repro.obs.recorder.EventRecorder`, so both the flat trace
     records and the typed event stream (Gantt, Chrome export, overlap
-    assertions) are captured from one source.
+    assertions) are captured from one source.  ``interleave_seed`` arms
+    the engine's same-instant interleaving jitter (schedule-space fuzzing,
+    see :mod:`repro.check`).
     """
     engine = Engine(tracer=EventRecorder() if trace else None)
+    if interleave_seed is not None:
+        engine.set_interleave_jitter(random.Random(interleave_seed))
     return Machine(
         engine=engine,
         host=host,

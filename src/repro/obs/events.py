@@ -17,6 +17,7 @@ kind              meaning
                   (§5.6): begin at spawn, end when all staging data landed
 ``stale_discard`` late data discarded by version tracking (§5.3)
 ``pool``          helper-buffer pool traffic: hit or miss (§6.1)
+``buffer_write``  a host ``clEnqueueWriteBuffer`` committing a new version
 ``buffer_read``   a host ``clEnqueueReadBuffer`` with its source device
 ``commit``        a kernel committing its out-buffers (cpu/gpu path)
 ``fault``         an injected fault striking, or a transfer being retried
@@ -47,6 +48,7 @@ class EventKind(str, enum.Enum):
     DH_READBACK = "dh_readback"
     STALE_DISCARD = "stale_discard"
     POOL = "pool"
+    BUFFER_WRITE = "buffer_write"
     BUFFER_READ = "buffer_read"
     COMMIT = "commit"
     FAULT = "fault"
@@ -75,7 +77,11 @@ class TraceEvent:
     ``track`` names the timeline lane the event belongs to — a command
     queue (``fluidicl-app``), the runtime itself (``runtime``), a
     scheduler thread, or the pool.  ``attrs`` carries kind-specific
-    payload (kernel id, window bounds, byte counts, ...).
+    payload (kernel id, window bounds, byte counts, ...).  ``category``
+    preserves the raw producer-side trace category (``subkernel_launch``,
+    ``merge_done``, ...) so consumers that need finer dispatch than
+    ``kind`` (e.g. the :mod:`repro.check` coherence monitor) get it
+    without string-matching names.
     """
 
     ts: float
@@ -84,6 +90,7 @@ class TraceEvent:
     name: str
     track: str
     attrs: Dict[str, Any] = field(default_factory=dict)
+    category: str = ""
 
     def __getitem__(self, key: str) -> Any:
         return self.attrs[key]

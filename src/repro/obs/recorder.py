@@ -44,12 +44,14 @@ _CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
     "subkernel_launch": (EventKind.SUBKERNEL, Phase.INSTANT, "scheduler"),
     "status_delivery": (EventKind.STATUS, Phase.INSTANT, "hd"),
     "merge_enqueued": (EventKind.MERGE, Phase.INSTANT, "runtime"),
+    "merge_done": (EventKind.MERGE, Phase.INSTANT, "runtime"),
     "gpu_input_refresh": (EventKind.GPU_REFRESH, Phase.INSTANT, "runtime"),
     "dh_readback_begin": (EventKind.DH_READBACK, Phase.BEGIN, "dh-thread"),
     "dh_readback_end": (EventKind.DH_READBACK, Phase.END, "dh-thread"),
     "stale_dh_discard": (EventKind.STALE_DISCARD, Phase.INSTANT, "dh-thread"),
     "pool_hit": (EventKind.POOL, Phase.INSTANT, "pool"),
     "pool_miss": (EventKind.POOL, Phase.INSTANT, "pool"),
+    "buffer_write": (EventKind.BUFFER_WRITE, Phase.INSTANT, "runtime"),
     "buffer_read": (EventKind.BUFFER_READ, Phase.INSTANT, "runtime"),
     "commit": (EventKind.COMMIT, Phase.INSTANT, "runtime"),
     "fault_injected": (EventKind.FAULT, Phase.INSTANT, "faults"),
@@ -60,11 +62,26 @@ _CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
 
 
 class EventRecorder(Tracer):
-    """Tracer that additionally maintains the typed event stream."""
+    """Tracer that additionally maintains the typed event stream.
+
+    Online consumers (e.g. the :mod:`repro.check` coherence monitor)
+    register through :meth:`add_listener` and receive every typed event
+    synchronously, at the simulated instant it is recorded — so they can
+    assert invariants *while* the run unfolds instead of post-mortem.
+    """
 
     def __init__(self):
         super().__init__()
         self.events: List[TraceEvent] = []
+        self._listeners: List[Any] = []
+
+    # -- monitor hook API --------------------------------------------------
+    def add_listener(self, fn) -> None:
+        """Register ``fn(event: TraceEvent)`` to run on every typed event."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        self._listeners.remove(fn)
 
     # -- ingestion ---------------------------------------------------------
     def record(self, time: float, category: str, payload: Dict[str, Any]) -> None:
@@ -83,14 +100,18 @@ class EventRecorder(Tracer):
             name = category
         else:
             name = _payload_label(payload) or kind.value
-        self.events.append(TraceEvent(
+        event = TraceEvent(
             ts=time,
             kind=kind,
             phase=phase,
             name=name,
             track=str(track),
             attrs=dict(payload),
-        ))
+            category=category,
+        )
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
 
     def clear(self) -> None:
         super().clear()

@@ -10,7 +10,7 @@ are documented assumptions (see DESIGN.md).  Three scales are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.polybench.atax import AtaxApp
 from repro.polybench.bicg import BicgApp
@@ -72,13 +72,19 @@ PAPER_SUITE: Tuple[str, ...] = ("2mm", "bicg", "corr", "gesummv", "syrk", "syr2k
 EXTENDED_SUITE: Tuple[str, ...] = PAPER_SUITE + ("atax", "mvt", "gemm", "3mm")
 
 
-def make_app(name: str, scale: str = "paper", **kwargs) -> PolybenchApp:
-    """Instantiate a benchmark by name at a given scale."""
+def make_app(name: str, scale: str = "paper", size: Optional[int] = None,
+             **kwargs) -> PolybenchApp:
+    """Instantiate a benchmark by name at a given scale.
+
+    ``size`` overrides the scale table with an explicit problem size
+    (used by the :mod:`repro.check` fuzzer to vary NDRange shapes).
+    """
     if name not in _FACTORIES:
         raise KeyError(f"unknown benchmark {name!r}; have {sorted(_FACTORIES)}")
     if scale not in SCALES:
         raise KeyError(f"unknown scale {scale!r}; have {sorted(SCALES)}")
-    return _FACTORIES[name](SCALES[scale][name], **kwargs)
+    return _FACTORIES[name](SCALES[scale][name] if size is None else size,
+                            **kwargs)
 
 
 def paper_suite(scale: str = "paper") -> List[PolybenchApp]:

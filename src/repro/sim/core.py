@@ -288,7 +288,7 @@ class AllOf(_Condition):
 
 
 class Engine:
-    """The event loop: a priority queue of (time, seq, event)."""
+    """The event loop: a priority queue of (time, tie, seq, event)."""
 
     def __init__(self, tracer=None):
         self.now: float = 0.0
@@ -299,6 +299,8 @@ class Engine:
         #: if True, a process failing with no observers does not raise
         #: immediately (useful in tests that assert on failure later).
         self.allow_orphan_failures = False
+        #: optional RNG perturbing the order of same-instant events
+        self._interleave_rng = None
 
     # -- factory helpers ----------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -321,10 +323,24 @@ class Engine:
         return self._active_process
 
     # -- scheduling ---------------------------------------------------------
+    def set_interleave_jitter(self, rng) -> None:
+        """Install a seeded RNG (``random.Random``) that randomizes the
+        processing order of *same-instant* events.
+
+        Without jitter, simultaneous events process in schedule (FIFO)
+        order — one fixed interleaving out of the many a real multi-queue
+        OpenCL runtime could exhibit.  The jitter draws a tie-break key per
+        scheduled event, exploring alternative-but-legal interleavings
+        deterministically (same seed, same order).  Event *times* are never
+        perturbed.  Pass ``None`` to restore FIFO order.
+        """
+        self._interleave_rng = rng
+
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+        tie = self._interleave_rng.random() if self._interleave_rng else 0.0
+        heapq.heappush(self._heap, (self.now + delay, tie, next(self._seq), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -334,7 +350,7 @@ class Engine:
         """Process one event, advancing the clock."""
         if not self._heap:
             raise SimDeadlockError("no scheduled events")
-        self.now, _seq, event = heapq.heappop(self._heap)
+        self.now, _tie, _seq, event = heapq.heappop(self._heap)
         event._process()
         return event
 

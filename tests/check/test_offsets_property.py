@@ -1,0 +1,125 @@
+"""Property tests for the flattened-ID arithmetic of CPU subkernels.
+
+Seeded stdlib-``random`` sweeps over arbitrary NDRange shapes (rank 1-3)
+assert the paper's §5.1/§5.2 partition argument: the GPU front ``[0,
+frontier)`` and the CPU-front subkernel windows (walking down from the
+top in arbitrary chunk sizes) partition the flattened range exactly — no
+overlap, no gap — and each covering slice recovers exactly its window
+after the in-kernel range check.
+"""
+
+import random
+
+import pytest
+
+from repro.core.offsets import subkernel_slice
+from repro.ocl.ndrange import NDRange
+
+N_TRIALS = 40
+
+
+def random_ndrange(rng: random.Random) -> NDRange:
+    rank = rng.randint(1, 3)
+    local = [rng.choice((1, 2, 4)) for _ in range(rank)]
+    groups = [rng.randint(1, 6) for _ in range(rank)]
+    return NDRange(
+        tuple(l * g for l, g in zip(local, groups)),
+        tuple(local),
+    )
+
+
+def random_cpu_windows(rng: random.Random, total: int, frontier: int):
+    """CPU-front windows: from ``total`` down to ``frontier`` in random
+    chunks, exactly as the scheduler carves them."""
+    windows = []
+    hi = total
+    while hi > frontier:
+        lo = max(frontier, hi - rng.randint(1, max(1, total // 3)))
+        windows.append((lo, hi))
+        hi = lo
+    return windows
+
+
+def slice_fids(ndrange: NDRange, launch) -> set:
+    """Flattened IDs of every group the covering slice launches."""
+    fids = set()
+    slice_nd = launch.slice_range
+    ranges = [range(n) for n in slice_nd.num_groups]
+
+    def walk(dims, gid):
+        if not dims:
+            fids.add(ndrange.flatten_group(
+                slice_nd.absolute_group(tuple(gid))))
+            return
+        for g in dims[0]:
+            walk(dims[1:], gid + [g])
+
+    walk(ranges, [])
+    return fids
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_cpu_and_gpu_fronts_partition_the_ndrange(trial):
+    rng = random.Random(f"offsets-partition:{trial}")
+    ndrange = random_ndrange(rng)
+    total = ndrange.total_groups
+    frontier = rng.randint(0, total)
+    windows = random_cpu_windows(rng, total, frontier)
+
+    gpu_front = set(range(frontier))
+    cpu_sets = [set(range(lo, hi)) for lo, hi in windows]
+
+    covered = set(gpu_front)
+    for fids in cpu_sets:
+        assert not covered & fids, "window overlaps earlier coverage"
+        covered |= fids
+    assert covered == set(range(total)), "gap in the partition"
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_covering_slice_recovers_exactly_the_window(trial):
+    rng = random.Random(f"offsets-slice:{trial}")
+    ndrange = random_ndrange(rng)
+    total = ndrange.total_groups
+    lo = rng.randint(0, total - 1)
+    hi = rng.randint(lo + 1, total)
+
+    launch = subkernel_slice(ndrange, lo, hi)
+    launched = slice_fids(ndrange, launch)
+    window = set(range(lo, hi))
+
+    # the slice covers the window...
+    assert window <= launched, "covering slice misses window groups"
+    # ...the in-kernel range check then rejects exactly the surplus
+    accepted = {fid for fid in launched if lo <= fid < hi}
+    assert accepted == window
+    assert launch.surplus_groups == len(launched) - len(window)
+    assert launch.useful_groups == hi - lo
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_flatten_unflatten_round_trip(trial):
+    rng = random.Random(f"offsets-roundtrip:{trial}")
+    ndrange = random_ndrange(rng)
+    for fid in range(ndrange.total_groups):
+        assert ndrange.flatten_group(ndrange.unflatten_group(fid)) == fid
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_adjacent_windows_launch_disjoint_useful_groups(trial):
+    """Two adjacent CPU windows may share surplus slice groups, but their
+    *useful* (range-checked) groups never overlap."""
+    rng = random.Random(f"offsets-adjacent:{trial}")
+    ndrange = random_ndrange(rng)
+    total = ndrange.total_groups
+    if total < 2:
+        return
+    mid = rng.randint(1, total - 1)
+    upper = subkernel_slice(ndrange, mid, total)
+    lower_lo = rng.randint(0, mid - 1)
+    lower = subkernel_slice(ndrange, lower_lo, mid)
+
+    upper_useful = set(range(upper.fid_start, upper.fid_end))
+    lower_useful = set(range(lower.fid_start, lower.fid_end))
+    assert not upper_useful & lower_useful
+    assert upper_useful | lower_useful == set(range(lower_lo, total))

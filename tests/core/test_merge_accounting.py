@@ -1,0 +1,117 @@
+"""Regression lock on the merge kernel's byte accounting.
+
+The ``on_diff`` hook of :func:`repro.core.merge.build_merge_kernel` feeds
+the runtime's ``merge_done`` events and the :mod:`repro.check`
+merge-accounting invariant.  These tests pin its contract with seeded
+random dirty masks: the merged buffer equals the NumPy oracle, and the
+reported byte counts sum to exactly the CPU-written (actually changed)
+region — not the launched region, not the whole buffer.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.merge import (
+    build_merge_kernel,
+    merge_ndrange,
+    reference_merge,
+)
+from repro.kernels.transforms import plain_variant
+from repro.ocl.kernel import Kernel
+from repro.ocl.platform import Platform
+
+
+def run_accounted_merge(machine, gpu_data, cpu_data, orig):
+    """Run the merge through the real device path with accounting on.
+
+    Returns ``(merged, per_group_bytes)``.
+    """
+    platform = Platform(machine)
+    gpu = platform.gpu
+    queue = platform.create_context().create_queue(gpu)
+    n = gpu_data.size
+    gpu_buf = gpu.create_buffer(gpu_data.shape, gpu_data.dtype)
+    cpu_buf = gpu.create_buffer(gpu_data.shape, gpu_data.dtype)
+    orig_buf = gpu.create_buffer(gpu_data.shape, gpu_data.dtype)
+    gpu_buf.write_from(gpu_data)
+    cpu_buf.write_from(cpu_data)
+    orig_buf.write_from(orig)
+    reports = []
+    spec = build_merge_kernel(gpu_buf.nbytes, gpu_data.dtype.itemsize,
+                              on_diff=reports.append)
+    kernel = Kernel(
+        plain_variant(spec),
+        {"cpu_buf": cpu_buf, "orig": orig_buf, "gpu_buf": gpu_buf,
+         "number_elems": n},
+    )
+    event = queue.enqueue_nd_range_kernel(kernel, merge_ndrange(n))
+    machine.run_until(event.done)
+    return gpu_buf.snapshot(), reports
+
+
+def random_dirty_case(seed, n=6000):
+    """Buffers where the CPU changed exactly a random dirty mask."""
+    rng = np.random.default_rng(seed)
+    orig = rng.standard_normal(n).astype(np.float32)
+    gpu_data = orig.copy()
+    gpu_mask = rng.random(n) < rng.uniform(0.0, 0.9)
+    gpu_data[gpu_mask] = orig[gpu_mask] + 1.0  # GPU result, bottom part
+    cpu_data = orig.copy()
+    cpu_mask = rng.random(n) < rng.uniform(0.0, 0.9)
+    cpu_data[cpu_mask] = orig[cpu_mask] + 2.0  # CPU result, guaranteed != orig
+    return orig, gpu_data, cpu_data, cpu_mask
+
+
+class TestMergeByteAccounting:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reported_bytes_equal_cpu_written_region(self, machine, seed):
+        orig, gpu_data, cpu_data, cpu_mask = random_dirty_case(seed)
+        merged, reports = run_accounted_merge(machine, gpu_data, cpu_data,
+                                              orig)
+        assert np.array_equal(merged,
+                              reference_merge(gpu_data, cpu_data, orig))
+        expected_bytes = int(cpu_mask.sum()) * orig.dtype.itemsize
+        assert sum(reports) == expected_bytes
+        assert len(reports) == merge_ndrange(orig.size).total_groups
+
+    def test_clean_cpu_buffer_reports_zero_bytes(self, machine):
+        orig = np.arange(5000, dtype=np.float32)
+        merged, reports = run_accounted_merge(machine, orig * 3, orig.copy(),
+                                              orig)
+        assert sum(reports) == 0
+        assert np.array_equal(merged, orig * 3)
+
+    def test_fully_dirty_buffer_reports_every_byte(self, machine):
+        orig = np.zeros(5000, dtype=np.float32)
+        cpu_data = np.ones(5000, dtype=np.float32)
+        merged, reports = run_accounted_merge(machine, orig.copy(), cpu_data,
+                                              orig)
+        assert sum(reports) == orig.nbytes
+        assert np.all(merged == 1)
+
+    def test_partition_split_reports_only_the_cpu_side(self, machine):
+        """The paper's layout: GPU wrote [0, split), CPU wrote [split, n)."""
+        rng = random.Random("merge-split")
+        n = 8192
+        np_rng = np.random.default_rng(11)
+        orig = np_rng.standard_normal(n).astype(np.float32)
+        result = orig + 1.0
+        for _ in range(5):
+            split = rng.randint(0, n)
+            gpu_data = orig.copy()
+            gpu_data[:split] = result[:split]
+            cpu_data = orig.copy()
+            cpu_data[split:] = result[split:]
+            merged, reports = run_accounted_merge(machine, gpu_data,
+                                                  cpu_data, orig)
+            assert np.array_equal(merged, result)
+            assert sum(reports) == (n - split) * orig.dtype.itemsize
+
+    def test_accounting_does_not_change_merge_semantics(self, machine):
+        orig, gpu_data, cpu_data, _ = random_dirty_case(99)
+        with_hook, _ = run_accounted_merge(machine, gpu_data, cpu_data, orig)
+        from tests.core.test_merge import run_merge_kernel
+        without_hook = run_merge_kernel(machine, gpu_data, cpu_data, orig)
+        assert np.array_equal(with_hook, without_hook)
