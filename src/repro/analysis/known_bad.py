@@ -1,0 +1,192 @@
+"""Deliberately broken kernels exercising the analyzer end to end.
+
+Mirrors the ``check --known-bad`` self-test pattern: each fixture is a
+kernel with one planted defect and the rule ID the analyzer must report
+for it.  ``python -m repro.harness lint --known-bad`` (and the tier-1
+tests) run every case and fail if any defect goes undetected or is
+misclassified — guarding the analyzer itself against regressions.
+
+The bodies are real, runnable work-group kernels: the under-declared-out
+case is also launched cooperatively by the end-to-end gate test to show
+the corruption the linter prevents (merge drops the CPU partition's
+results, paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hw.cost import WorkGroupCost
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg, scalar_arg
+
+__all__ = ["KnownBadCase", "KNOWN_BAD_CASES", "known_bad_case"]
+
+_COST = WorkGroupCost(flops=1e6, bytes_read=1e4, bytes_written=1e4)
+_LONG_COST = WorkGroupCost(flops=1e6, bytes_read=1e4, bytes_written=1e4,
+                           loop_iters=4096)
+
+
+# -- FK101: under-declared write -------------------------------------------
+def _under_declared_body(ctx):
+    rows = ctx.rows()
+    # y is written but the signature below declares it intent='in'
+    ctx["y"][rows] = 2.0 * ctx["x"][rows]
+
+
+def under_declared_out_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_under_declared_out",
+        args=(buffer_arg("x"), buffer_arg("y")),  # y should be Intent.OUT
+        body=_under_declared_body,
+        cost=_COST,
+    )
+
+
+# -- FK201: cross-work-group write -----------------------------------------
+def _cross_group_write_body(ctx):
+    rows = ctx.rows()
+    # every group writes the whole of y, racing across the partition
+    ctx["y"][:] = ctx["x"][rows].sum()
+
+
+def cross_group_write_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_cross_group_write",
+        args=(buffer_arg("x"), buffer_arg("y", Intent.OUT)),
+        body=_cross_group_write_body,
+        cost=_COST,
+    )
+
+
+# -- FK202: cross-work-group read of a written buffer ----------------------
+def _cross_group_read_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["x"][rows] + ctx["y"].mean()
+
+
+def cross_group_read_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_cross_group_read",
+        args=(buffer_arg("x"), buffer_arg("y", Intent.INOUT)),
+        body=_cross_group_read_body,
+        cost=_COST,
+    )
+
+
+# -- FK301: long loop without in-loop abort checks -------------------------
+def _long_loop_body(ctx):
+    rows = ctx.rows()
+    acc = ctx["x"][rows] * 0.0
+    for _ in range(8):
+        acc = acc + ctx["x"][rows]
+    ctx["y"][rows] = acc
+
+
+def missing_abort_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_missing_abort_long_loop",
+        args=(buffer_arg("x"), buffer_arg("y", Intent.OUT)),
+        body=_long_loop_body,
+        cost=_LONG_COST,
+    )
+
+
+# -- FK103: undeclared argument --------------------------------------------
+def _unknown_arg_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["xs"][rows]  # declared name is 'x'
+
+
+def unknown_arg_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_unknown_arg",
+        args=(buffer_arg("x"), buffer_arg("y", Intent.OUT)),
+        body=_unknown_arg_body,
+        cost=_COST,
+    )
+
+
+# -- FK104: scalar written -------------------------------------------------
+def _scalar_write_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["x"][rows] * ctx["n"]
+    ctx["n"] = 0
+
+
+def scalar_write_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_scalar_write",
+        args=(buffer_arg("x"), buffer_arg("y", Intent.OUT), scalar_arg("n")),
+        body=_scalar_write_body,
+        cost=_COST,
+    )
+
+
+# -- FK110: over-declared write --------------------------------------------
+def _over_declared_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["x"][rows] + ctx["z"][rows]
+
+
+def over_declared_out_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bad_over_declared_out",
+        args=(buffer_arg("x"), buffer_arg("y", Intent.OUT),
+              buffer_arg("z", Intent.OUT)),  # z is only ever read
+        body=_over_declared_body,
+        cost=_COST,
+    )
+
+
+@dataclass(frozen=True)
+class KnownBadCase:
+    """One planted defect and the rule the analyzer must report for it."""
+
+    name: str
+    expected_rule: str
+    factory: "object"  # () -> KernelSpec
+    #: GPU-variant flags the analyzer is run under for this case
+    abort_in_loops: bool = True
+    loop_unroll: bool = True
+    description: str = ""
+
+    def spec(self) -> KernelSpec:
+        return self.factory()
+
+
+KNOWN_BAD_CASES: Tuple[KnownBadCase, ...] = (
+    KnownBadCase(
+        "under-declared-out", "FK101", under_declared_out_kernel,
+        description="buffer written but declared 'in'; cooperative merge "
+                    "drops the CPU partition's results"),
+    KnownBadCase(
+        "cross-group-write", "FK201", cross_group_write_kernel,
+        description="write not pinned to the group's own tile; flattened-ID "
+                    "partition races on it"),
+    KnownBadCase(
+        "cross-group-read", "FK202", cross_group_read_kernel,
+        description="whole-variable read of a written buffer; sees unmerged "
+                    "cross-group values"),
+    KnownBadCase(
+        "missing-abort-long-loop", "FK301", missing_abort_kernel,
+        abort_in_loops=False,
+        description="4096-iteration loop with in-loop abort checks disabled"),
+    KnownBadCase(
+        "unknown-arg", "FK103", unknown_arg_kernel,
+        description="body references a name absent from the signature"),
+    KnownBadCase(
+        "scalar-write", "FK104", scalar_write_kernel,
+        description="body assigns to a by-value scalar argument"),
+    KnownBadCase(
+        "over-declared-out", "FK110", over_declared_out_kernel,
+        description="buffer declared 'out' but never written; pays a "
+                    "redundant transfer and merge"),
+)
+
+
+def known_bad_case(name: str) -> KnownBadCase:
+    for case in KNOWN_BAD_CASES:
+        if case.name == name:
+            return case
+    raise KeyError(f"no known-bad case named {name!r}")

@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.analyzer import analyze_specs
+from repro.analysis.diagnostics import LintReport
 from repro.check.monitor import CoherenceMonitor, Violation
 from repro.core.config import FluidiCLConfig
 from repro.core.runtime import FluidiCLRuntime
@@ -33,7 +35,7 @@ from repro.polybench.common import DEFAULT_RTOL
 from repro.polybench.suite import EXTENDED_SUITE, SCALES, make_app
 
 __all__ = ["FuzzConfig", "CheckResult", "ScheduleFuzzer", "run_config",
-           "CORRUPTION_KINDS"]
+           "preflight_lint", "CORRUPTION_KINDS"]
 
 #: smallest problem size the fuzzer will draw (all apps need multiples of 32)
 MIN_SIZE = 64
@@ -103,7 +105,9 @@ class CheckResult:
     config: FuzzConfig
     #: "ok" — run completed; "device-lost" — graceful degradation exhausted
     #: both devices (an accepted outcome, §4.2 failover has nothing left to
-    #: fail over to); "error" — the runtime crashed, always a failure
+    #: fail over to); "lint-rejected" — the static analyzer found the app's
+    #: kernels unsafe to partition, so the run was never scheduled; "error"
+    #: — the runtime crashed, always a failure
     outcome: str
     violations: List[Violation] = field(default_factory=list)
     correct: Optional[bool] = None
@@ -226,9 +230,43 @@ class _Corruptor:
             self.monitor.observe(replace(event, attrs=fake_attrs))
 
 
+def preflight_lint(app, config: FuzzConfig) -> List[LintReport]:
+    """Statically analyze the app's kernels under ``config``'s variant flags.
+
+    Returns the reports of kernels that are **not** fluidic-safe — i.e.
+    that must not be partitioned across devices.  Apps that do not expose
+    :meth:`~repro.polybench.common.PolybenchApp.kernel_specs` are passed
+    through (empty list): the fuzzer cannot judge what it cannot see.
+    """
+    specs = app.kernel_specs()
+    if not specs:
+        return []
+    reports = analyze_specs(specs, abort_in_loops=config.abort_in_loops,
+                            loop_unroll=config.loop_unroll)
+    return [r for r in reports if not r.fluidic_safe]
+
+
 def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL) -> CheckResult:
-    """Execute one fuzz configuration and check every invariant."""
+    """Execute one fuzz configuration and check every invariant.
+
+    Before anything is scheduled, the static analyzer (:mod:`repro.analysis`)
+    vets the app's kernels: a kernel that is not fluidic-safe would produce
+    oracle mismatches by construction, so the run is skipped with outcome
+    ``"lint-rejected"`` instead of reported as a (spurious) failure.
+    """
     wall_start = time.perf_counter()
+    app = make_app(config.app, scale="test", size=config.size)
+    unsafe = preflight_lint(app, config)
+    if unsafe:
+        detail = "; ".join(
+            f"{r.label}: {', '.join(sorted(set(f.rule_id for f in r.errors)))}"
+            for r in unsafe)
+        return CheckResult(
+            config=config,
+            outcome="lint-rejected",
+            wall_seconds=time.perf_counter() - wall_start,
+            error=f"not fluidic-safe: {detail}",
+        )
     machine = build_machine(
         gpu=TESLA_C2070.scaled(config.gpu_scale),
         cpu=XEON_W3550.scaled(config.cpu_scale),
@@ -241,7 +279,6 @@ def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL) -> CheckResult:
         machine.tracer.add_listener(_Corruptor(monitor, config.corruption))
     if config.faults:
         install_faults(runtime, FaultSchedule(list(config.faults)))
-    app = make_app(config.app, scale="test", size=config.size)
 
     outcome = "ok"
     correct: Optional[bool] = None

@@ -46,6 +46,10 @@ class FluidiCLConfig:
     transfer_max_retries: int = 4
     #: base backoff before the first transfer retry (doubles per attempt)
     transfer_retry_backoff: float = 2e-5
+    #: fluidity lint gate before cooperative launch (repro.analysis):
+    #: "strict" refuses kernels that are not fluidic-safe, "warn" emits
+    #: lint_finding events and launches anyway, "off" skips the analysis
+    lint: str = "warn"
 
     def __post_init__(self):
         if not 0 < self.initial_chunk_fraction <= 1:
@@ -60,6 +64,10 @@ class FluidiCLConfig:
             raise ValueError("transfer_max_retries must be >= 0")
         if self.transfer_retry_backoff < 0:
             raise ValueError("transfer_retry_backoff must be >= 0")
+        if self.lint not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"lint must be 'off', 'warn' or 'strict', got {self.lint!r}"
+            )
 
     def with_options(self, **changes) -> "FluidiCLConfig":
         """A modified copy (used heavily by the ablation benchmarks)."""

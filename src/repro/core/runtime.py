@@ -21,6 +21,8 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.analysis.analyzer import analyze_kernel
+from repro.analysis.diagnostics import LintError, Severity
 from repro.core.buffers import FluidiBuffer
 from repro.core.config import FluidiCLConfig
 from repro.core.merge import build_merge_kernel, merge_ndrange
@@ -135,6 +137,9 @@ class FluidiCLRuntime(AbstractRuntime):
         #: a CPU-device loss is reported as one failover, at the end of the
         #: first kernel it affects
         self._cpu_failover_traced = False
+        #: lint findings already surfaced, so host programs looping over the
+        #: same kernel emit each diagnosis once per runtime, not per launch
+        self._lint_seen: set = set()
 
     # ------------------------------------------------------------------
     # OpenCL-shaped API
@@ -281,6 +286,44 @@ class FluidiCLRuntime(AbstractRuntime):
         self.context.release()
 
     # ------------------------------------------------------------------
+    # Fluidity lint gate (repro.analysis; DESIGN.md "Static kernel analysis")
+    # ------------------------------------------------------------------
+    def _lint_gate(self, specs: List[KernelSpec]) -> None:
+        """Statically analyze every kernel version before cooperative launch.
+
+        ``config.lint`` selects the posture: ``"warn"`` (default) emits one
+        ``lint_finding`` event and bumps a metrics counter per distinct
+        finding of WARNING severity or above; ``"strict"`` additionally
+        raises :class:`LintError` when any version is not fluidic-safe —
+        partitioning it across devices (§4, Fig. 7) could corrupt results;
+        ``"off"`` skips the analysis entirely.
+        """
+        if self.config.lint == "off":
+            return
+        reports = [
+            analyze_kernel(spec, abort_in_loops=self.config.abort_in_loops,
+                           loop_unroll=self.config.loop_unroll)
+            for spec in specs
+        ]
+        for report in reports:
+            for finding in report.worth_reporting(Severity.WARNING):
+                key = (report.kernel, report.version, finding.rule_id,
+                       finding.arg)
+                if key in self._lint_seen:
+                    continue
+                self._lint_seen.add(key)
+                self.metrics.counter("lint_findings").inc()
+                self.engine.trace(
+                    "lint_finding", kernel=report.kernel,
+                    version=report.version, rule=finding.rule_id,
+                    severity=finding.severity.value, arg=finding.arg,
+                    message=finding.message,
+                )
+        if self.config.lint == "strict" and any(
+                not r.fluidic_safe for r in reports):
+            raise LintError(reports)
+
+    # ------------------------------------------------------------------
     # Cooperative kernel execution (§4.2)
     # ------------------------------------------------------------------
     def enqueue_nd_range_kernel(self, versions: KernelVersions, ndrange: NDRange,
@@ -289,6 +332,7 @@ class FluidiCLRuntime(AbstractRuntime):
         specs = self._as_versions(versions)
         base = specs[0]
         base.bind_check(args)
+        self._lint_gate(specs)
         kernel_id = next(self._versions)
         record = KernelRecord(
             kernel_id=kernel_id,

@@ -8,6 +8,10 @@ Subcommands:
 - ``python -m repro.harness check [--seeds N] [--budget-s S]`` — run a
   bounded schedule-space fuzzing campaign with online coherence checking
   (see :mod:`repro.harness.check_cli` and :mod:`repro.check`).
+- ``python -m repro.harness lint [--apps ...] [--known-bad]`` — statically
+  analyze the suite's kernels for intent drift, cross-work-group races and
+  abort-check placement (see :mod:`repro.harness.lint_cli` and
+  :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import time
 from repro.harness.check_cli import check_main
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.harness.extensions import EXTENSION_EXPERIMENTS
+from repro.harness.lint_cli import lint_main
 from repro.harness.trace_cli import trace_main
 
 
@@ -29,6 +34,8 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "check":
         return check_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the FluidiCL paper's tables and figures.",
@@ -36,7 +43,9 @@ def main(argv=None) -> int:
             "Subcommands: 'trace' exports a Chrome-trace timeline of one "
             "FluidiCL run (python -m repro.harness trace --help); 'check' "
             "runs a schedule-space fuzzing campaign with online coherence "
-            "checking (python -m repro.harness check --help)."
+            "checking (python -m repro.harness check --help); 'lint' runs "
+            "the static kernel analyzer over the suite and examples "
+            "(python -m repro.harness lint --help)."
         ),
     )
     parser.add_argument(

@@ -72,22 +72,25 @@ def _summarize(results: List[CheckResult], skipped: int,
     by_app = {}
     for r in results:
         row = by_app.setdefault(r.config.app, {"runs": 0, "ok": 0,
-                                               "lost": 0, "fail": 0,
-                                               "checks": 0})
+                                               "lost": 0, "rej": 0,
+                                               "fail": 0, "checks": 0})
         row["runs"] += 1
         row["checks"] += r.checks
         if r.failed:
             row["fail"] += 1
         elif r.outcome == "device-lost":
             row["lost"] += 1
+        elif r.outcome == "lint-rejected":
+            row["rej"] += 1
         else:
             row["ok"] += 1
     lines.append(f"{'app':10s} {'runs':>5s} {'ok':>4s} {'dev-lost':>9s} "
-                 f"{'failed':>7s} {'checks':>8s}")
+                 f"{'lint-rej':>9s} {'failed':>7s} {'checks':>8s}")
     for app in sorted(by_app):
         row = by_app[app]
         lines.append(f"{app:10s} {row['runs']:5d} {row['ok']:4d} "
-                     f"{row['lost']:9d} {row['fail']:7d} {row['checks']:8d}")
+                     f"{row['lost']:9d} {row['rej']:9d} {row['fail']:7d} "
+                     f"{row['checks']:8d}")
     failed = sum(1 for r in results if r.failed)
     total_checks = sum(r.checks for r in results)
     lines.append(

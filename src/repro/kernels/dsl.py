@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Optional, Tuple
 
+from repro.analysis.diagnostics import KernelDeclarationError, rule
 from repro.hw.cost import UNROLLED_CHECK_PENALTY, WorkGroupCost
 
 __all__ = [
@@ -58,8 +59,22 @@ class ArgSpec:
     is_buffer: bool = True
 
     def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name.isidentifier():
+            raise KernelDeclarationError(rule("FK003").finding(
+                f"argument name {self.name!r} is not a valid identifier",
+                arg=str(self.name),
+                hint="kernel bodies access arguments as ctx[<name>], so the "
+                     "name must be a plain identifier string",
+            ))
         if not self.is_buffer and self.intent is not Intent.IN:
-            raise ValueError(f"scalar argument {self.name!r} must be intent=in")
+            raise KernelDeclarationError(rule("FK002").finding(
+                f"scalar argument {self.name!r} must be intent=in: scalars "
+                f"are passed by value to every work-group and cannot carry "
+                f"results back",
+                arg=self.name,
+                hint=f"declare buffer_arg({self.name!r}, "
+                     f"Intent.{self.intent.name}) instead",
+            ))
 
 
 def buffer_arg(name: str, intent: Intent = Intent.IN) -> ArgSpec:
@@ -124,8 +139,14 @@ class KernelSpec:
 
     def __post_init__(self):
         names = [a.name for a in self.args]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate argument names in kernel {self.name!r}")
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise KernelDeclarationError(rule("FK001").finding(
+                f"duplicate argument names in kernel {self.name!r}: "
+                f"{', '.join(repr(n) for n in duplicates)}",
+                kernel=self.name, arg=duplicates[0],
+                hint="every ArgSpec in args must have a distinct name",
+            ))
 
     @property
     def buffer_args(self) -> Tuple[ArgSpec, ...]:

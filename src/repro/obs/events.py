@@ -23,6 +23,8 @@ kind              meaning
 ``fault``         an injected fault striking, or a transfer being retried
 ``failover``      the watchdog degrading a device / the runtime completing
                   a kernel on the surviving device
+``lint``          a static-analyzer finding surfaced by the runtime lint
+                  gate before a cooperative launch (repro.analysis)
 ``generic``       anything else routed through the engine tracer
 ================  ======================================================
 """
@@ -53,6 +55,7 @@ class EventKind(str, enum.Enum):
     COMMIT = "commit"
     FAULT = "fault"
     FAILOVER = "failover"
+    LINT = "lint"
     GENERIC = "generic"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

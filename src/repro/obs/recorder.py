@@ -58,6 +58,7 @@ _CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
     "fault_retry": (EventKind.FAULT, Phase.INSTANT, "faults"),
     "device_degraded": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
     "failover": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
+    "lint_finding": (EventKind.LINT, Phase.INSTANT, "lint"),
 }
 
 

@@ -98,6 +98,9 @@ class AtaxApp(PolybenchApp):
         nd = self._ndrange()
         return [KernelMeta("atax_kernel1", nd), KernelMeta("atax_kernel2", nd)]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [atax_kernel1(self.n), atax_kernel2(self.n)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

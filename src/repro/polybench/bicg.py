@@ -106,6 +106,9 @@ class BicgApp(PolybenchApp):
         nd = self._ndrange()
         return [KernelMeta("bicg_kernel1", nd), KernelMeta("bicg_kernel2", nd)]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [bicg_kernel1(self.n), bicg_kernel2(self.n)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

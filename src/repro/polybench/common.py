@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.kernels.dsl import KernelSpec
 from repro.kernels.validation import relative_error
 from repro.ocl.ndrange import NDRange
 from repro.ocl.runtime import AbstractRuntime
@@ -78,6 +79,16 @@ class PolybenchApp(abc.ABC):
     @abc.abstractmethod
     def kernel_metas(self) -> List[KernelMeta]:
         """Kernel launch geometry (for the Table 2 reproduction)."""
+
+    def kernel_specs(self) -> Optional[List[KernelSpec]]:
+        """Every kernel version the host program may launch, for static
+        analysis (``repro.analysis``); ``None`` when unknown.
+
+        The fluidity linter (``python -m repro.harness lint``) and the
+        :mod:`repro.check` fuzzer pre-flight analyze these without running
+        the host program.
+        """
+        return None
 
     # -- provided ----------------------------------------------------------------
     @property

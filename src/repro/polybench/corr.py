@@ -199,6 +199,14 @@ class CorrApp(PolybenchApp):
     def kernel_metas(self) -> List[KernelMeta]:
         return [KernelMeta(name, nd) for name, nd in self._ndranges().items()]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        n = self.n
+        specs = [mean_kernel(n), std_kernel(n), center_kernel(n),
+                 corr_kernel(n)]
+        if self.provide_cpu_tuned_kernel:
+            specs.append(corr_kernel_cpu_tuned(n))
+        return specs
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

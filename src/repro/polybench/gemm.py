@@ -86,6 +86,9 @@ class GemmApp(PolybenchApp):
     def kernel_metas(self) -> List[KernelMeta]:
         return [KernelMeta("gemm_kernel", self._ndrange())]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [gemm_kernel(self.n, self.gpu_compute, self.cpu_compute)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

@@ -100,6 +100,9 @@ class GesummvApp(PolybenchApp):
     def kernel_metas(self) -> List[KernelMeta]:
         return [KernelMeta("gesummv_kernel", self._ndrange())]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [gesummv_kernel(self.n, self.rows_per_group)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

@@ -102,6 +102,9 @@ class MvtApp(PolybenchApp):
         nd = self._ndrange()
         return [KernelMeta("mvt_kernel1", nd), KernelMeta("mvt_kernel2", nd)]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [mvt_kernel1(self.n), mvt_kernel2(self.n)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

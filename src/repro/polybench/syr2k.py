@@ -100,6 +100,9 @@ class Syr2kApp(PolybenchApp):
     def kernel_metas(self) -> List[KernelMeta]:
         return [KernelMeta("syr2k_kernel", self._ndrange())]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [syr2k_kernel(self.n)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

@@ -108,6 +108,9 @@ class SyrkApp(PolybenchApp):
     def kernel_metas(self) -> List[KernelMeta]:
         return [KernelMeta("syrk_kernel", self._ndrange())]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [syrk_kernel(self.n)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

@@ -77,6 +77,14 @@ class ThreeMmApp(PolybenchApp):
             KernelMeta("mm3_kernel3", nd),
         ]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        n = self.n
+        return [
+            mm_kernel("mm3_kernel1", "A", "B", "E", n),
+            mm_kernel("mm3_kernel2", "C", "D", "F", n),
+            mm_kernel("mm3_kernel3", "E", "F", "G", n),
+        ]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

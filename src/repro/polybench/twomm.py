@@ -126,6 +126,9 @@ class TwoMmApp(PolybenchApp):
         nd = self._ndrange()
         return [KernelMeta("mm2_kernel1", nd), KernelMeta("mm2_kernel2", nd)]
 
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [mm1_kernel(self.n), mm2_kernel(self.n)]
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         n = self.n

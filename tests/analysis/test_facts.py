@@ -1,0 +1,182 @@
+"""AST fact extraction over kernel bodies (repro.analysis.facts)."""
+
+import numpy as np
+
+from repro.analysis.facts import AccessMode, AxisKind, extract_facts
+
+
+def _only_write(facts, buffer):
+    writes = facts.writes(buffer)
+    assert len(writes) == 1, writes
+    return writes[0]
+
+
+class TestTileClassification:
+    def test_rows_slice_is_tile_dim0(self):
+        def body(ctx):
+            rows = ctx.rows()
+            ctx["y"][rows] = ctx["x"][rows] * 2.0
+
+        facts = extract_facts(body)
+        assert facts.analyzable
+        assert facts.tile_dims == {0}
+        write = _only_write(facts, "y")
+        assert write.axes[0].kind is AxisKind.TILE
+        assert write.axes[0].dim == 0
+
+    def test_cols_slice_is_tile_dim1(self):
+        def body(ctx):
+            cols = ctx.cols()
+            ctx["y"][:, cols] = ctx["x"][:, cols]
+
+        facts = extract_facts(body)
+        assert facts.tile_dims == {1}
+        write = _only_write(facts, "y")
+        assert write.axes[0].kind is AxisKind.FULL
+        assert write.axes[1].kind is AxisKind.TILE
+        assert write.axes[1].dim == 1
+
+    def test_item_range_unpack_bounds_slice(self):
+        def body(ctx):
+            r0, r1 = ctx.item_range(0)
+            c0, c1 = ctx.item_range(1)
+            ctx["C"][r0:r1, c0:c1] = ctx["A"][r0:r1, :] @ ctx["B"][:, c0:c1]
+
+        facts = extract_facts(body)
+        assert facts.tile_dims == {0, 1}
+        write = _only_write(facts, "C")
+        assert [a.kind for a in write.axes] == [AxisKind.TILE, AxisKind.TILE]
+        assert [a.dim for a in write.axes] == [0, 1]
+        a_read = facts.reads("A")[0]
+        assert a_read.axes[0].kind is AxisKind.TILE
+        assert a_read.axes[1].kind is AxisKind.FULL
+
+    def test_rebuilt_slice_call_is_tile(self):
+        def body(ctx):
+            r = ctx.item_range(0)
+            ctx["y"][slice(r[0], r[1])] = 0.0
+
+        facts = extract_facts(body)
+        write = _only_write(facts, "y")
+        assert write.axes[0].kind is AxisKind.TILE
+
+    def test_computed_index_is_other(self):
+        def body(ctx):
+            lo, hi = ctx.item_range(0)
+            ctx["y"][lo + 1:hi + 1] = 0.0
+
+        facts = extract_facts(body)
+        write = _only_write(facts, "y")
+        assert write.axes[0].kind is AxisKind.OTHER
+
+    def test_group_id_scalar_is_tile(self):
+        def body(ctx):
+            g = ctx.group_id[0]
+            ctx["y"][g] = 1.0
+
+        facts = extract_facts(body)
+        assert facts.tile_dims == {0}
+        write = _only_write(facts, "y")
+        assert write.axes[0].kind is AxisKind.TILE
+
+
+class TestAccessModes:
+    def test_augassign_reads_then_writes(self):
+        def body(ctx):
+            rows = ctx.rows()
+            ctx["y"][rows] += ctx["x"][rows]
+
+        facts = extract_facts(body)
+        assert len(facts.reads("y")) == 1
+        assert len(facts.writes("y")) == 1
+
+    def test_whole_variable_read(self):
+        def body(ctx):
+            rows = ctx.rows()
+            ctx["y"][rows] = ctx["x"].mean()
+
+        facts = extract_facts(body)
+        reads = facts.reads("x")
+        assert len(reads) == 1
+        assert not reads[0].subscripted
+
+    def test_alias_assignment_is_not_a_read(self):
+        def body(ctx):
+            src = ctx["src"]
+            rows = ctx.rows()
+            ctx["dst"][rows] = src[rows]
+
+        facts = extract_facts(body)
+        # the alias binding itself contributes nothing; the subscripted
+        # use through the alias is the only read
+        reads = facts.reads("src")
+        assert len(reads) == 1
+        assert reads[0].subscripted
+
+    def test_scalar_whole_variable_read(self):
+        def body(ctx):
+            rows = ctx.rows()
+            ctx["y"][rows] = ctx["alpha"] * ctx["x"][rows]
+
+        facts = extract_facts(body)
+        assert "alpha" in facts.read_names
+        assert "alpha" not in facts.written_names
+
+
+class TestKeyResolution:
+    def test_closure_key_resolves(self):
+        def make(out):
+            def body(ctx):
+                rows = ctx.rows()
+                ctx[out][rows] = ctx["x"][rows]
+            return body
+
+        facts = extract_facts(make("result"))
+        assert facts.written_names == {"result"}
+        assert not facts.unresolved_keys
+
+    def test_module_global_key_resolves(self):
+        # np is a module global of this test module: not a string, so the
+        # subscript ctx[np] is unresolvable, not silently mis-resolved
+        def body(ctx):
+            ctx[np][0] = 1.0
+
+        facts = extract_facts(body)
+        assert facts.unresolved_keys
+
+    def test_dynamic_key_is_unresolved(self):
+        def body(ctx):
+            name = "ab"[0:1] + "x"
+            ctx[name][ctx.rows()] = 0.0
+
+        facts = extract_facts(body)
+        assert facts.unresolved_keys
+
+
+class TestAnalyzability:
+    def test_lambda_is_unanalyzable(self):
+        facts = extract_facts(lambda ctx: None)
+        assert not facts.analyzable
+        assert "lambda" in facts.reason
+
+    def test_loops_are_recorded(self):
+        def body(ctx):
+            rows = ctx.rows()
+            acc = ctx["x"][rows] * 0.0
+            for _ in range(4):
+                acc = acc + ctx["x"][rows]
+            ctx["y"][rows] = acc
+
+        facts = extract_facts(body)
+        assert [loop.kind for loop in facts.loops] == ["for"]
+
+    def test_locations_point_at_this_file(self):
+        def body(ctx):
+            ctx["y"][ctx.rows()] = 0.0
+
+        facts = extract_facts(body)
+        assert facts.source_file.endswith("test_facts.py")
+        write = facts.writes("y")[0]
+        with open(facts.source_file, "r", encoding="utf-8") as fh:
+            line = fh.readlines()[write.line - 1]
+        assert 'ctx["y"]' in line

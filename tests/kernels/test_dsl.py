@@ -125,3 +125,48 @@ class TestKernelVariant:
         variant = KernelVariant(make_scale_kernel(64),
                                 extra_cost_multiplier=1.5)
         assert variant.time_multiplier == pytest.approx(1.5)
+
+
+class TestDeclarationDiagnostics:
+    """Declaration errors carry the analyzer's typed diagnostics
+    (KernelDeclarationError subclasses ValueError, so legacy callers and
+    the pytest.raises(ValueError) sites above keep working)."""
+
+    def test_scalar_intent_error_names_the_argument(self):
+        from repro.analysis import KernelDeclarationError
+
+        with pytest.raises(KernelDeclarationError) as excinfo:
+            ArgSpec("alpha", Intent.OUT, is_buffer=False)
+        finding = excinfo.value.finding
+        assert finding.rule_id == "FK002"
+        assert finding.arg == "alpha"
+        assert "alpha" in str(excinfo.value)
+        assert "buffer_arg" in finding.hint
+
+    def test_duplicate_args_error_names_kernel_and_argument(self):
+        from repro.analysis import KernelDeclarationError
+
+        with pytest.raises(KernelDeclarationError) as excinfo:
+            KernelSpec(
+                name="dup_kernel",
+                args=(buffer_arg("x"), buffer_arg("x")),
+                body=lambda ctx: None,
+                cost=WorkGroupCost(flops=1, bytes_read=1, bytes_written=1),
+            )
+        finding = excinfo.value.finding
+        assert finding.rule_id == "FK001"
+        assert finding.kernel == "dup_kernel"
+        assert finding.arg == "x"
+        assert "dup_kernel" in str(excinfo.value)
+
+    def test_non_identifier_name_rejected(self):
+        from repro.analysis import KernelDeclarationError
+
+        with pytest.raises(KernelDeclarationError) as excinfo:
+            buffer_arg("not a name")
+        assert excinfo.value.finding.rule_id == "FK003"
+
+    def test_declaration_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            scalar_arg("x")  # fine
+            ArgSpec("y", Intent.INOUT, is_buffer=False)
