@@ -1,8 +1,12 @@
 """Shared helpers for the benchmark harness.
 
 Each benchmark module regenerates one table/figure of the paper at paper
-scale, asserts its qualitative claim, and records the rendered table under
-``benchmarks/results/`` (the source of EXPERIMENTS.md).
+scale, asserts its qualitative claim, and records the rendered table.
+
+By default the rendering goes under ``out/benchmarks/results/`` so a plain
+``pytest benchmarks/`` never rewrites tracked files; pass
+``--update-golden-results`` to refresh the committed goldens under
+``benchmarks/results/`` (the source of EXPERIMENTS.md) instead.
 """
 
 from __future__ import annotations
@@ -12,15 +16,36 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUT_RESULTS_DIR = pathlib.Path(__file__).parent.parent / "out" / "benchmarks" / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden-results",
+        action="store_true",
+        default=False,
+        help=(
+            "write experiment renderings to the tracked benchmarks/results/ "
+            "goldens instead of out/benchmarks/results/"
+        ),
+    )
+
+
+def results_dir_for(update_golden: bool) -> pathlib.Path:
+    """Tracked goldens only behind the explicit flag; out/ otherwise."""
+    return RESULTS_DIR if update_golden else OUT_RESULTS_DIR
 
 
 @pytest.fixture
-def record_result():
-    """Save an ExperimentResult's rendering to benchmarks/results/<id>.txt."""
+def record_result(request):
+    """Save an ExperimentResult's rendering to <results dir>/<id>.txt."""
+    results_dir = results_dir_for(
+        request.config.getoption("--update-golden-results")
+    )
 
     def _record(result):
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        results_dir.mkdir(parents=True, exist_ok=True)
+        path = results_dir / f"{result.experiment_id}.txt"
         path.write_text(result.render() + "\n")
         print()
         print(result.render())

@@ -1,0 +1,53 @@
+"""Persisted benchmark harness: wall-clock measurement of the hot paths.
+
+The simulator reports *simulated* seconds — the paper's metric — but the
+repository itself must also run "as fast as the hardware allows"
+(ROADMAP).  :mod:`repro.bench` measures the *host* cost of the measured
+hot paths (engine event churn, subkernel launch rate, fuzzer seeds/sec,
+full cooperative runs over a pinned app × config matrix) with
+``time.perf_counter``, and persists schema-versioned ``BENCH_<n>.json``
+snapshots so every future PR has a perf trajectory to answer to.
+
+Three layers:
+
+* :mod:`repro.bench.measure` — warmup + repeats wall-clock timing.
+* :mod:`repro.bench.micro` / :mod:`repro.bench.matrix` — the pinned
+  benchmark definitions (engine microbenchmarks; polybench apps ×
+  machine configs × optimization toggles).
+* :mod:`repro.bench.snapshot` — ``BENCH_<n>.json`` persistence, baseline
+  discovery and threshold-gated regression comparison.
+
+Run it via ``python -m repro.harness bench`` (see
+:mod:`repro.harness.bench_cli`).
+"""
+
+from repro.bench.measure import Measurement, measure
+from repro.bench.micro import MICRO_BENCHMARKS, run_micro_benchmarks
+from repro.bench.matrix import APP_MATRIX, run_app_matrix
+from repro.bench.snapshot import (
+    SCHEMA_VERSION,
+    BenchResult,
+    BenchSnapshot,
+    Comparison,
+    compare_snapshots,
+    find_snapshots,
+    load_snapshot,
+    next_snapshot_path,
+)
+
+__all__ = [
+    "Measurement",
+    "measure",
+    "MICRO_BENCHMARKS",
+    "run_micro_benchmarks",
+    "APP_MATRIX",
+    "run_app_matrix",
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "BenchSnapshot",
+    "Comparison",
+    "compare_snapshots",
+    "find_snapshots",
+    "load_snapshot",
+    "next_snapshot_path",
+]

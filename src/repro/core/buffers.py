@@ -56,12 +56,21 @@ class FluidiBuffer:
         self.last_cpu_kernel_write = None
 
     def quiesce_events(self):
-        """Events a CPU-copy reader must wait on before touching ``cpu``."""
-        events = []
-        for cl_event in (self.last_cpu_write, self.last_cpu_kernel_write):
-            if cl_event is not None and not cl_event.is_complete:
-                events.append(cl_event.done)
-        return events
+        """Events a CPU-copy reader must wait on before touching ``cpu``.
+
+        The common case — both writers already complete — allocates
+        nothing; readers hit this per host read and per GPU input refresh.
+        """
+        first = self.last_cpu_write
+        if first is not None and not first.is_complete:
+            second = self.last_cpu_kernel_write
+            if second is not None and not second.is_complete:
+                return [first.done, second.done]
+            return [first.done]
+        second = self.last_cpu_kernel_write
+        if second is not None and not second.is_complete:
+            return [second.done]
+        return ()
 
     # -- geometry -------------------------------------------------------------
     @property

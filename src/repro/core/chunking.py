@@ -40,6 +40,17 @@ class AdaptiveChunker:
         self.step = (max(1, round(step_fraction * total_groups))
                      if step_fraction > 0 else 0)
         self._growing = self.step > 0
+        # The first observation has no predecessor to compare against; the
+        # +inf sentinel makes it count as an improvement, so the chunk
+        # always grows once after the first subkernel (optimistic first
+        # growth).  This is deliberate and matches the §5.1 scheme: "the
+        # chunk size is increased ... as long as the average time per work
+        # group improves" — with a single sample there is no evidence the
+        # curve has flattened, and the alternative (never grow until two
+        # samples exist) would burn an extra subkernel launch just to learn
+        # what the paper's heuristic assumes.  Growth still stops at the
+        # first non-improving average, so a pessimal first chunk costs at
+        # most one step of overshoot.
         self._previous_avg: float = float("inf")
         #: (chunk, avg seconds/work-group) per observed subkernel
         self.history: List[Tuple[int, float]] = []
@@ -59,7 +70,12 @@ class AdaptiveChunker:
         return min(chunk, remaining)
 
     def observe(self, launched_groups: int, elapsed_seconds: float) -> None:
-        """Feed back the measured duration of the last subkernel."""
+        """Feed back the measured duration of the last subkernel.
+
+        The very first call always grows the chunk (see ``_previous_avg``
+        in ``__init__``); growth requires a strictly-more-than-epsilon
+        improvement afterwards, so an exactly-epsilon average settles.
+        """
         if launched_groups < 1:
             raise ValueError("launched_groups must be >= 1")
         if elapsed_seconds < 0:

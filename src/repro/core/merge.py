@@ -24,6 +24,11 @@ __all__ = ["MERGE_LOCAL_SIZE", "build_merge_kernel", "merge_ndrange"]
 #: work-items (elements) per merge work-group
 MERGE_LOCAL_SIZE = 4096
 
+#: (args, cost) per element size: every merge of a same-typed buffer shares
+#: the same immutable arg specs and work-group cost, and a merge is built
+#: per out-buffer per kernel — rebuilding these dominated build_merge_kernel
+_SPEC_PARTS_BY_ITEMSIZE: dict = {}
+
 
 def _merge_body(ctx, on_diff=None, itemsize: int = 0) -> None:
     lo, hi = ctx.item_range(0)
@@ -53,15 +58,26 @@ def build_merge_kernel(nbytes: int, itemsize: int, on_diff=None) -> KernelSpec:
     :mod:`repro.check` merge-coverage invariant).  It is observability
     only: the merge semantics are identical with or without it.
     """
-    per_group_bytes = MERGE_LOCAL_SIZE * itemsize
-    cost = WorkGroupCost(
-        flops=MERGE_LOCAL_SIZE,  # one compare per element
-        bytes_read=3 * per_group_bytes,
-        bytes_written=per_group_bytes,
-        loop_iters=1,
-        compute_efficiency={"cpu": 0.5, "gpu": 0.9},
-        memory_efficiency={"cpu": 0.5, "gpu": 0.9},
-    )
+    parts = _SPEC_PARTS_BY_ITEMSIZE.get(itemsize)
+    if parts is None:
+        per_group_bytes = MERGE_LOCAL_SIZE * itemsize
+        cost = WorkGroupCost(
+            flops=MERGE_LOCAL_SIZE,  # one compare per element
+            bytes_read=3 * per_group_bytes,
+            bytes_written=per_group_bytes,
+            loop_iters=1,
+            compute_efficiency={"cpu": 0.5, "gpu": 0.9},
+            memory_efficiency={"cpu": 0.5, "gpu": 0.9},
+        )
+        args = (
+            buffer_arg("cpu_buf", Intent.IN),
+            buffer_arg("orig", Intent.IN),
+            buffer_arg("gpu_buf", Intent.INOUT),
+            scalar_arg("number_elems"),
+        )
+        parts = _SPEC_PARTS_BY_ITEMSIZE[itemsize] = (args, cost)
+    args, cost = parts
+
     if on_diff is None:
         body = _merge_body
     else:
@@ -70,12 +86,7 @@ def build_merge_kernel(nbytes: int, itemsize: int, on_diff=None) -> KernelSpec:
 
     return KernelSpec(
         name="fluidicl_merge",
-        args=(
-            buffer_arg("cpu_buf", Intent.IN),
-            buffer_arg("orig", Intent.IN),
-            buffer_arg("gpu_buf", Intent.INOUT),
-            scalar_arg("number_elems"),
-        ),
+        args=args,
         body=body,
         cost=cost,
     )

@@ -229,7 +229,12 @@ class FluidiCLRuntime(AbstractRuntime):
     def _quiesce_cpu_copy(self, handle: FluidiBuffer) -> None:
         """Wait until every in-flight writer of ``handle.cpu`` has finished."""
         pending = handle.quiesce_events()
-        if pending:
+        if not pending:
+            return
+        if len(pending) == 1:
+            # one writer: wait on it directly, no AllOf wrapper event
+            self.machine.run_until(pending[0])
+        else:
             self.machine.run_until(self.engine.all_of(pending))
 
     def finish(self) -> None:

@@ -36,6 +36,11 @@ class CpuScheduler:
         #: True when a required input version can never reach the CPU (it
         #: was riding a device-to-host read-back from a lost GPU)
         self.data_lost = False
+        #: per-version bound Kernel, keyed by id(spec).  The variant and the
+        #: bound args are pure functions of (plan, spec), and the profiler
+        #: keeps every spec alive for this scheduler's lifetime, so each
+        #: version is transformed and bound once instead of per subkernel.
+        self._kernel_cache = {}
         self.process = runtime.engine.process(
             self._run(), name=f"fluidicl-sched-k{plan.kernel_id}"
         )
@@ -106,8 +111,12 @@ class CpuScheduler:
             self.surplus_groups += launch_geometry.surplus_groups
             plan.record.surplus_groups = self.surplus_groups
 
-            variant = cpu_subkernel_variant(spec, wg_split=config.cpu_wg_split)
-            kernel = Kernel(variant, plan.cpu_args(spec))
+            kernel = self._kernel_cache.get(id(spec))
+            if kernel is None:
+                variant = cpu_subkernel_variant(spec,
+                                                wg_split=config.cpu_wg_split)
+                kernel = Kernel(variant, plan.cpu_args(spec))
+                self._kernel_cache[id(spec)] = kernel
             launch = LaunchConfig(
                 fid_start=start,
                 fid_end=self.frontier,
@@ -122,14 +131,15 @@ class CpuScheduler:
             # must synchronize on this (possibly stale) subkernel's writes.
             for fbuf in plan.out_fbuffers:
                 fbuf.last_cpu_kernel_write = event
-            engine.trace(
-                "subkernel_launch", kernel=spec.name,
-                kernel_id=plan.kernel_id, fid_start=start,
-                fid_end=self.frontier, chunk=chunk,
-                launched_groups=launch_geometry.launched_groups,
-                surplus_groups=launch_geometry.surplus_groups,
-                version=spec.version, probing=profiler.probing,
-            )
+            if engine.tracer is not None:
+                engine.trace(
+                    "subkernel_launch", kernel=spec.name,
+                    kernel_id=plan.kernel_id, fid_start=start,
+                    fid_end=self.frontier, chunk=chunk,
+                    launched_groups=launch_geometry.launched_groups,
+                    surplus_groups=launch_geometry.surplus_groups,
+                    version=spec.version, probing=profiler.probing,
+                )
             runtime.stats.extra["subkernels_launched"] += 1
             yield event.done
             if event.cancelled:

@@ -12,6 +12,10 @@ Subcommands:
   analyze the suite's kernels for intent drift, cross-work-group races and
   abort-check placement (see :mod:`repro.harness.lint_cli` and
   :mod:`repro.analysis`).
+- ``python -m repro.harness bench [--smoke] [--threshold X]`` — run the
+  pinned benchmark matrix, persist a ``BENCH_<n>.json`` snapshot and gate
+  wall-clock regressions against the committed baseline (see
+  :mod:`repro.harness.bench_cli` and :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import argparse
 import sys
 import time
 
+from repro.harness.bench_cli import bench_main
 from repro.harness.check_cli import check_main
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.harness.extensions import EXTENSION_EXPERIMENTS
@@ -36,6 +41,8 @@ def main(argv=None) -> int:
         return check_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the FluidiCL paper's tables and figures.",
@@ -45,7 +52,9 @@ def main(argv=None) -> int:
             "runs a schedule-space fuzzing campaign with online coherence "
             "checking (python -m repro.harness check --help); 'lint' runs "
             "the static kernel analyzer over the suite and examples "
-            "(python -m repro.harness lint --help)."
+            "(python -m repro.harness lint --help); 'bench' runs the "
+            "pinned benchmark matrix and persists a BENCH_<n>.json "
+            "snapshot (python -m repro.harness bench --help)."
         ),
     )
     parser.add_argument(

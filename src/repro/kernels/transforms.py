@@ -5,6 +5,12 @@ manually.  But these are simple transformations that can be automated using
 a source-to-source compiler." (paper section 5).  Here they *are* automated:
 each function takes a device-agnostic :class:`KernelSpec` and returns the
 :class:`KernelVariant` the corresponding rewritten OpenCL C kernel would be.
+
+Variants are immutable and deterministic in (spec, flags): callers on hot
+paths cache and reuse them across launches instead of re-transforming per
+launch (a real OpenCL stack compiles once per program, not per enqueue) —
+see the per-version kernel cache in :class:`repro.core.scheduler.CpuScheduler`
+and the per-itemsize spec parts in :mod:`repro.core.merge`.
 """
 
 from __future__ import annotations

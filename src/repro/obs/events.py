@@ -56,6 +56,7 @@ class EventKind(str, enum.Enum):
     FAULT = "fault"
     FAILOVER = "failover"
     LINT = "lint"
+    BENCH = "bench"
     GENERIC = "generic"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

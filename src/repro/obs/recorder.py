@@ -59,6 +59,8 @@ _CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
     "device_degraded": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
     "failover": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
     "lint_finding": (EventKind.LINT, Phase.INSTANT, "lint"),
+    "bench_begin": (EventKind.BENCH, Phase.BEGIN, "bench"),
+    "bench_end": (EventKind.BENCH, Phase.END, "bench"),
 }
 
 

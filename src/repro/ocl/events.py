@@ -32,7 +32,8 @@ class CLEvent:
         self.queued = engine.now
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
-        self.done: Event = Event(engine, name=f"cl_event{self.id}")
+        # unnamed on purpose: one f-string per command shows up in profiles
+        self.done: Event = Event(engine)
         self.info = dict(info or {})
         #: command-specific result (e.g. kernel execution summary)
         self.result: Any = None

@@ -50,8 +50,9 @@ class CommandQueue:
 
     # -- core ----------------------------------------------------------------
     def enqueue(self, command: Command) -> CLEvent:
-        event = CLEvent(self.device.engine, command.command_type,
-                        info=command.describe())
+        # No eager describe(): the dict was only ever debugging info, and
+        # building it per command is measurable on the enqueue hot path.
+        event = CLEvent(self.device.engine, command.command_type)
         self._channel.put((command, event))
         self._last_event = event
         return event
@@ -64,12 +65,16 @@ class CommandQueue:
                 return
             command, event = item
             event.mark_started(engine.now)
-            engine.trace(
-                "cmd_start",
-                queue=self.name,
-                type=str(command.command_type),
-                **command.describe(),
-            )
+            # describe() builds a fresh dict per call; with no tracer
+            # installed that cost is pure waste on the hottest queue path.
+            traced = engine.tracer is not None
+            if traced:
+                engine.trace(
+                    "cmd_start",
+                    queue=self.name,
+                    type=str(command.command_type),
+                    **command.describe(),
+                )
             try:
                 result = yield from command.run(self)
             except DeviceLostError as err:
@@ -78,21 +83,23 @@ class CommandQueue:
                 # every later command cancels instantly the same way, so
                 # finish()/drain() on a dead device completes immediately.
                 event.mark_cancelled(engine.now, err)
-                engine.trace(
-                    "cmd_end",
-                    queue=self.name,
-                    type=str(command.command_type),
-                    cancelled=True,
-                    **command.describe(),
-                )
+                if traced:
+                    engine.trace(
+                        "cmd_end",
+                        queue=self.name,
+                        type=str(command.command_type),
+                        cancelled=True,
+                        **command.describe(),
+                    )
             else:
                 event.mark_finished(engine.now, result)
-                engine.trace(
-                    "cmd_end",
-                    queue=self.name,
-                    type=str(command.command_type),
-                    **command.describe(),
-                )
+                if traced:
+                    engine.trace(
+                        "cmd_end",
+                        queue=self.name,
+                        type=str(command.command_type),
+                        **command.describe(),
+                    )
 
     # -- convenience wrappers (the familiar clEnqueue* calls) ----------------
     def enqueue_write_buffer(self, buffer, source,

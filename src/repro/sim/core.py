@@ -6,6 +6,9 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "SimError",
     "SimDeadlockError",
@@ -113,6 +116,21 @@ class Event:
         else:
             self.callbacks.append(fn)
 
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Remove one registered occurrence of ``fn``; no-op if absent.
+
+        Long-lived events accumulate callbacks from every waiter that ever
+        registered on them; waiters that stop caring (e.g. a condition that
+        already resolved via another child) must detach, or the event's
+        callback list grows without bound.
+        """
+        callbacks = self.callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(fn)
+            except ValueError:
+                pass
+
     def _process(self) -> None:
         self._processed = True
         callbacks, self.callbacks = self.callbacks, None
@@ -128,15 +146,22 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units in the future."""
 
-    __slots__ = ()
+    __slots__ = ("_delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(engine, name=f"timeout({delay:g})")
+        # Timeouts are the engine's highest-volume allocation; the name is
+        # rendered lazily in __repr__ instead of formatted on every call.
+        super().__init__(engine)
+        self._delay = delay
         self._triggered = True
         self._value = value
         engine._schedule(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Timeout timeout({self._delay:g}) {state}>"
 
 
 class Process(Event):
@@ -243,9 +268,26 @@ class _Condition(Event):
             return
         for event in self._events:
             event.add_callback(self._child_done)
+            if self._triggered:
+                # An already-processed child resolved us mid-registration
+                # (immediate callback); the remaining children must not be
+                # registered on at all.
+                break
 
     def _child_done(self, event: Event) -> None:
         raise NotImplementedError
+
+    def _detach_pending(self) -> None:
+        """Drop ``_child_done`` from children that have not yet run callbacks.
+
+        Once the condition has resolved, registrations left on still-pending
+        children are dead weight: §5.3-style wait loops (``any_of([gate.wait(),
+        gpu_done])`` against a long-lived ``gpu_done``) would otherwise grow
+        that event's callback list by one entry per iteration.
+        """
+        for event in self._events:
+            if not event._processed:
+                event.remove_callback(self._child_done)
 
     def _collect(self) -> list:
         return [e.value for e in self._events if e.triggered and e.ok]
@@ -266,6 +308,7 @@ class AnyOf(_Condition):
             self.fail(event.value)
         else:
             self.succeed(event.value)
+        self._detach_pending()
 
 
 class AllOf(_Condition):
@@ -281,6 +324,7 @@ class AllOf(_Condition):
             return
         if not event.ok:
             self.fail(event.value)
+            self._detach_pending()
             return
         self._pending -= 1
         if self._pending == 0:
@@ -339,8 +383,9 @@ class Engine:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        tie = self._interleave_rng.random() if self._interleave_rng else 0.0
-        heapq.heappush(self._heap, (self.now + delay, tie, next(self._seq), event))
+        rng = self._interleave_rng
+        tie = rng.random() if rng is not None else 0.0
+        _heappush(self._heap, (self.now + delay, tie, next(self._seq), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -350,11 +395,15 @@ class Engine:
         """Process one event, advancing the clock."""
         if not self._heap:
             raise SimDeadlockError("no scheduled events")
-        self.now, _tie, _seq, event = heapq.heappop(self._heap)
+        self.now, _tie, _seq, event = _heappop(self._heap)
         event._process()
         return event
 
     # -- run loops ------------------------------------------------------------
+    # The loops below inline step() (localized heappop, no per-event method
+    # dispatch): at hundreds of thousands of events per run, the dispatch
+    # overhead dominated the harness profile.
+
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
@@ -363,27 +412,36 @@ class Engine:
         triggers; returns its value, raising if it failed).
         """
         if until is None:
-            while self._heap:
-                self.step()
+            heap = self._heap
+            pop = _heappop
+            while heap:
+                self.now, _tie, _seq, event = pop(heap)
+                event._process()
             return None
         if isinstance(until, Event):
             return self._run_until_event(until)
         return self._run_until_time(float(until))
 
     def _run_until_event(self, event: Event) -> Any:
-        while not event.processed:
-            if not self._heap:
+        heap = self._heap
+        pop = _heappop
+        while not event._processed:
+            if not heap:
                 raise SimDeadlockError(
                     f"deadlock: ran out of events before {event!r} triggered"
                 )
-            self.step()
+            self.now, _tie, _seq, head = pop(heap)
+            head._process()
         if not event.ok:
             raise event.value
         return event.value
 
     def _run_until_time(self, deadline: float) -> None:
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        heap = self._heap
+        pop = _heappop
+        while heap and heap[0][0] <= deadline:
+            self.now, _tie, _seq, event = pop(heap)
+            event._process()
         self.now = max(self.now, deadline)
 
     # -- tracing --------------------------------------------------------------

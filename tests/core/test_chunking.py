@@ -67,6 +67,55 @@ class TestAdaptiveGrowth:
         chunker.observe(first, 0.0001)
         assert chunker.next_chunk(1000) == first
 
+    def test_first_observation_always_grows(self):
+        """Documented §5.1 semantics: the first observe() has no previous
+        average to compare with (+inf sentinel), so it always counts as an
+        improvement — even for an arbitrarily slow first subkernel."""
+        chunker = make(total=1000, initial=0.10, step=0.10)
+        first = chunker.next_chunk(1000)
+        chunker.observe(first, first * 1e6)  # terrible average
+        assert chunker.still_growing
+        assert chunker.next_chunk(1000) > first
+
+    def test_first_observation_zero_elapsed(self):
+        """avg == 0.0 on the first subkernel must not divide-by-zero or
+        flip the heuristic; zero is still an improvement over +inf."""
+        chunker = make(total=1000, initial=0.10, step=0.10)
+        first = chunker.next_chunk(1000)
+        chunker.observe(first, 0.0)
+        assert chunker.still_growing
+        assert chunker.next_chunk(1000) > first
+
+    def test_epsilon_exact_improvement_settles(self):
+        """Growth needs strictly more than the 2% epsilon: an average at
+        exactly previous*(1-epsilon) is 'flat' and stops growth."""
+        chunker = make(total=10000, cu=1, initial=0.01, step=0.01)
+        first = chunker.next_chunk(10000)
+        chunker.observe(first, first * 1.0)        # avg = 1.0, grows (first)
+        second = chunker.next_chunk(10000)
+        chunker.observe(second, second * 0.98)     # exactly epsilon better
+        assert not chunker.still_growing
+        assert chunker.next_chunk(10000) == second
+
+    def test_just_past_epsilon_keeps_growing(self):
+        chunker = make(total=10000, cu=1, initial=0.01, step=0.01)
+        first = chunker.next_chunk(10000)
+        chunker.observe(first, first * 1.0)
+        second = chunker.next_chunk(10000)
+        chunker.observe(second, second * 0.9799)   # strictly past epsilon
+        assert chunker.still_growing
+        assert chunker.next_chunk(10000) > second
+
+    def test_zero_step_first_observation_does_not_grow(self):
+        """step_fraction=0 (fig. 18 sweep) disables growth entirely —
+        including the optimistic first-observation growth."""
+        chunker = make(step=0.0)
+        first = chunker.next_chunk(1000)
+        assert not chunker.still_growing
+        chunker.observe(first, first * 1.0)
+        assert chunker.next_chunk(1000) == first
+        assert chunker.chunk == first or chunker.chunk <= first
+
     def test_history_recorded(self):
         chunker = make()
         chunk = chunker.next_chunk(1000)

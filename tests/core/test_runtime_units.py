@@ -215,7 +215,7 @@ class TestCpuReadSynchronization:
         assert buf_y.last_cpu_kernel_write is not None
         runtime.drain()
         assert buf_y.last_cpu_kernel_write.is_complete
-        assert buf_y.quiesce_events() == []
+        assert not buf_y.quiesce_events()
 
 
 class TestBackgroundBookkeeping:

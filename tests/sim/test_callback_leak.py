@@ -1,0 +1,126 @@
+"""Regression tests: resolved conditions must detach from pending children.
+
+The §5.3 version-wait loop in :class:`repro.core.scheduler.CpuScheduler`
+builds a fresh ``any_of([gate.wait(), gpu_done])`` every iteration against
+the *same* long-lived ``gpu_done`` event.  Each ``AnyOf`` registers a
+callback on every child; before the fix, the registrations on the losing
+child were never removed, so ``gpu_done.callbacks`` grew by one entry per
+iteration — unbounded memory and, worse, O(iterations) callback scans when
+``gpu_done`` finally fired.
+"""
+
+import pytest
+
+from repro.sim.core import Engine, Event
+from repro.sim.sync import Gate
+
+
+def _stale_callbacks(event: Event) -> int:
+    return len(event.callbacks) if event.callbacks is not None else 0
+
+
+class TestConditionDetach:
+    def test_any_of_loop_does_not_grow_longlived_event_callbacks(self):
+        """The §5.3 wait-loop shape: callbacks on gpu_done stay bounded."""
+        engine = Engine()
+        gpu_done = engine.event("gpu_done")
+        gate = Gate(engine, name="cpuver")
+        iterations = 500
+
+        def firer():
+            for version in range(iterations):
+                yield engine.timeout(1e-6)
+                gate.fire(version)
+
+        def waiter():
+            for _ in range(iterations):
+                yield engine.any_of([gate.wait(), gpu_done])
+
+        engine.process(firer())
+        engine.process(waiter())
+        engine.run()
+
+        # Every any_of resolved via the gate; each must have detached from
+        # gpu_done.  Pre-fix this was == iterations.
+        assert _stale_callbacks(gpu_done) <= 1
+
+    def test_any_of_detaches_on_resolution(self):
+        engine = Engine()
+        slow = engine.event("slow")
+        fast = engine.timeout(1.0, value="fast")
+        condition = engine.any_of([fast, slow])
+        assert _stale_callbacks(slow) == 1
+        assert engine.run(condition) == "fast"
+        assert _stale_callbacks(slow) == 0
+        # the loser can still fire normally afterwards
+        slow.succeed("late")
+        engine.run()
+        assert slow.processed
+
+    def test_any_of_detaches_on_child_failure(self):
+        engine = Engine()
+        engine.allow_orphan_failures = True
+        pending = engine.event("pending")
+        failing = engine.event("failing")
+        condition = engine.any_of([failing, pending])
+        failing.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            engine.run(condition)
+        assert _stale_callbacks(pending) == 0
+
+    def test_all_of_detaches_on_child_failure(self):
+        engine = Engine()
+        engine.allow_orphan_failures = True
+        pending = engine.event("pending")
+        failing = engine.event("failing")
+        condition = engine.all_of([failing, pending])
+        failing.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            engine.run(condition)
+        # the all_of failed; it must no longer hang off the other child
+        assert _stale_callbacks(pending) == 0
+
+    def test_condition_skips_registration_once_resolved(self):
+        """A processed child resolves the AnyOf during construction; later
+        children must not be registered on at all."""
+        engine = Engine()
+        done = engine.event("done").succeed("now")
+        engine.run()
+        assert done.processed
+        longlived = engine.event("longlived")
+        condition = engine.any_of([done, longlived])
+        engine.run()
+        assert condition.value == "now"
+        assert _stale_callbacks(longlived) == 0
+
+
+class TestRemoveCallback:
+    def test_remove_registered_callback(self):
+        engine = Engine()
+        event = engine.event()
+        calls = []
+        event.add_callback(calls.append)
+        event.remove_callback(calls.append)
+        event.succeed("x")
+        engine.run()
+        assert calls == []
+
+    def test_remove_is_noop_when_absent_or_processed(self):
+        engine = Engine()
+        event = engine.event()
+        event.remove_callback(lambda e: None)  # never registered
+        event.succeed()
+        engine.run()
+        assert event.processed
+        event.remove_callback(lambda e: None)  # callbacks already None
+
+    def test_remove_one_occurrence_only(self):
+        engine = Engine()
+        event = engine.event()
+        calls = []
+        event.add_callback(calls.append)
+        event.add_callback(calls.append)
+        event.remove_callback(calls.append)
+        event.succeed("x")
+        engine.run()
+        assert len(calls) == 1

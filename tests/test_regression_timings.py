@@ -91,6 +91,66 @@ class TestEndToEndPins:
 
         assert run_once() == run_once()
 
+    def test_engine_event_throughput_floor(self):
+        """Wall-clock guard on the engine's hottest loop (schedule + drain).
+
+        The threshold is deliberately generous — CI machines are shared
+        and slow — but catches order-of-magnitude regressions such as
+        reintroducing per-event string formatting or per-event method
+        dispatch in the run loop.  The local `harness bench` snapshots
+        (BENCH_<n>.json) hold the tight numbers.
+        """
+        from repro.bench.measure import measure
+        from repro.bench.micro import MICRO_BENCHMARKS
+
+        case = next(c for c in MICRO_BENCHMARKS if c.name == "event_churn")
+        n = case.smoke_n
+        timing = measure(lambda: case.fn(n), repeats=3, warmup=1)
+        throughput = n / timing.best
+        # Optimized engines run this at >200k events/s on a laptop; 20k/s
+        # tolerates a 10x slower shared CI runner.
+        assert throughput > 20_000, (
+            f"event churn at {throughput:,.0f} events/s "
+            f"(best of {len(timing.runs)} runs: {timing.best:.3f}s for {n})"
+        )
+
+    def test_condition_wait_throughput_floor(self):
+        """Same guard for the §5.3 any_of wait loop — the path the stale
+        callback leak used to degrade quadratically."""
+        from repro.bench.measure import measure
+        from repro.bench.micro import MICRO_BENCHMARKS
+
+        case = next(c for c in MICRO_BENCHMARKS if c.name == "condition_wait")
+        n = case.smoke_n
+        timing = measure(lambda: case.fn(n), repeats=3, warmup=1)
+        throughput = n / timing.best
+        assert throughput > 10_000, (
+            f"condition waits at {throughput:,.0f}/s "
+            f"(best of {len(timing.runs)} runs: {timing.best:.3f}s for {n})"
+        )
+        # the leak fix keeps the long-lived event's callback list bounded
+        info = timing.last_result
+        assert info["meta"]["stale_callbacks"] <= 1
+
+    def test_subkernel_launch_rate_floor(self):
+        """Wall-clock guard on the cooperative subkernel launch path
+        (variant/kernel cache, queue traffic, status shipping)."""
+        from repro.bench.measure import measure
+        from repro.bench.micro import MICRO_BENCHMARKS
+
+        case = next(c for c in MICRO_BENCHMARKS
+                    if c.name == "subkernel_launch")
+        timing = measure(lambda: case.fn(case.smoke_n), repeats=2, warmup=1)
+        info = timing.last_result
+        assert info["work"] >= 1, "no subkernels launched — case degenerated"
+        rate = info["work"] / timing.best
+        # A full cooperative app at this size simulates in ~25ms locally;
+        # 2/s means a 100x slower run and a genuine regression.
+        assert rate > 2, (
+            f"subkernel launch rate {rate:.1f}/s "
+            f"({info['work']} subkernels in {timing.best:.3f}s)"
+        )
+
     def test_suite_regime_pins(self):
         """Each paper benchmark stays in its calibrated regime at paper
         scale: the winning device must not flip under refactors."""
