@@ -16,8 +16,11 @@ closes the loop:
    the group's own tile in *every* NDRange dimension the body partitions
    on, and reads of written buffers must stay inside the same tile
    mapping the writes use.  A kernel that fails this is not *fluidic-safe*:
-   partitioning its flattened group range across two devices (Fig. 7)
-   races on the out-buffers.
+   partitioning its flattened group range across the devices of a set
+   (Fig. 7; two in the paper, N under the device-set runtime) races on
+   the out-buffers — each extra front is one more concurrent writer, so
+   the FK2xx verdict gates every cooperative launch regardless of the
+   set's size.
 3. **Abort-check placement** (FK3xx): kernels with long inner loops need
    the §6.4 in-loop abort checks (else a running work-group cannot yield
    when the range completes elsewhere) and the §6.5 re-unrolling (else

@@ -29,7 +29,7 @@ class AppCase:
 
     app: str
     scale: str
-    machine: str  # "default" | "half-gpu"
+    machine: str  # "default" | "half-gpu" | "cpu+2gpu"
     config: str   # "default" | "no_abort" | "no_pool"
 
     @property
@@ -44,6 +44,8 @@ class AppCase:
             return build_machine()
         if self.machine == "half-gpu":
             return build_machine(gpu=TESLA_C2070.scaled(0.5))
+        if self.machine == "cpu+2gpu":
+            return build_machine(preset="cpu+2gpu")
         raise ValueError(f"unknown machine preset {self.machine!r}")
 
     def build_config(self):
@@ -59,8 +61,9 @@ class AppCase:
 
 
 #: the full matrix: cpu-favored (gesummv), mixed (bicg) and gpu-favored
-#: (syrk) apps; the Fig. 15 ablation toggle; the §6.1 pool toggle; and a
-#: slower-GPU machine that shifts more work to the CPU scheduler
+#: (syrk) apps; the Fig. 15 ablation toggle; the §6.1 pool toggle; a
+#: slower-GPU machine that shifts more work to the CPU scheduler; and a
+#: three-device ``cpu+2gpu`` set exercising the N-way front ledger
 APP_MATRIX = (
     AppCase("gesummv", "small", "default", "default"),
     AppCase("bicg", "small", "default", "default"),
@@ -70,12 +73,15 @@ APP_MATRIX = (
     AppCase("syrk", "small", "default", "no_pool"),
     AppCase("gesummv", "small", "half-gpu", "default"),
     AppCase("syrk", "small", "half-gpu", "default"),
+    AppCase("gesummv", "small", "cpu+2gpu", "default"),
 )
 
-#: CI smoke: one cpu-favored and one gpu-favored app at test scale
+#: CI smoke: one cpu-favored and one gpu-favored app at test scale, plus
+#: one N-device preset
 SMOKE_MATRIX = (
     AppCase("gesummv", "test", "default", "default"),
     AppCase("syrk", "test", "default", "default"),
+    AppCase("gesummv", "test", "cpu+2gpu", "default"),
 )
 
 

@@ -125,6 +125,31 @@ def _subkernel_launch_rate(n: int) -> dict:
             "meta": {"size": n, "subkernels": launched}}
 
 
+def _subkernel_launch_rate_3dev(n: int) -> dict:
+    """The subkernel-launch micro on a three-device ``cpu+2gpu`` set.
+
+    Exercises the N-way device-set path: two worker schedulers claiming
+    off the shared front ledger, per-front landing buffers and pairwise
+    merges.  A new case id — the two-device baseline history stays
+    comparable.
+    """
+    from repro.core.config import FluidiCLConfig
+    from repro.core.runtime import FluidiCLRuntime
+    from repro.hw.machine import build_machine
+    from repro.polybench.suite import make_app
+
+    machine = build_machine(preset="cpu+2gpu")
+    config = FluidiCLConfig(initial_chunk_fraction=0.02,
+                            chunk_step_fraction=0.0)
+    runtime = FluidiCLRuntime(machine, config=config)
+    app = make_app("gesummv", "test", size=n)
+    result = app.execute(runtime, check=False)
+    runtime.drain()
+    launched = runtime.stats.extra["subkernels_launched"]
+    return {"work": launched, "simulated": result.elapsed,
+            "meta": {"size": n, "subkernels": launched}}
+
+
 def _host_roundtrip(n: int) -> dict:
     """``n`` host write+read round-trips through the dual-device buffers.
 
@@ -173,6 +198,8 @@ MICRO_BENCHMARKS = (
     MicroCase("condition_wait", "waits/s", 20_000, 2_000, _condition_wait),
     MicroCase("subkernel_launch", "subkernels/s", 1024, 256,
               _subkernel_launch_rate),
+    MicroCase("subkernel_launch.3dev", "subkernels/s", 1024, 256,
+              _subkernel_launch_rate_3dev),
     MicroCase("host_roundtrip", "ops/s", 300, 50, _host_roundtrip),
     MicroCase("fuzzer_seeds", "seeds/s", 6, 2, _fuzzer_seeds),
 )

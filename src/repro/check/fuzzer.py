@@ -27,8 +27,8 @@ from repro.core.config import FluidiCLConfig
 from repro.core.runtime import FluidiCLRuntime
 from repro.faults.injector import install_faults
 from repro.faults.schedule import FaultSchedule, FaultSpec
-from repro.hw.machine import build_machine
-from repro.hw.specs import TESLA_C2070, XEON_W3550
+from repro.hw.machine import MACHINE_PRESETS, build_machine
+from repro.hw.specs import DeviceKind, TESLA_C2070, XEON_W3550
 from repro.obs.events import TraceEvent
 from repro.ocl.health import DeviceLostError
 from repro.polybench.common import DEFAULT_RTOL
@@ -71,12 +71,19 @@ class FuzzConfig:
     jitter_seed: Optional[int] = None
     faults: Tuple[FaultSpec, ...] = ()
     corruption: Optional[str] = None
+    #: machine preset name (:data:`repro.hw.machine.MACHINE_PRESETS`);
+    #: ``"default"`` is the paper's CPU+GPU pair, other presets exercise
+    #: N-device sets.  GPU-kind devices scale by ``gpu_scale``, CPU-kind
+    #: by ``cpu_scale``.
+    machine: str = "default"
 
     def describe(self) -> str:
         bits = [f"seed={self.seed}", f"{self.app}@{self.size}",
                 f"gpu×{self.gpu_scale:.2f}", f"cpu×{self.cpu_scale:.2f}",
                 f"chunk={self.initial_chunk_fraction:.2f}"
                 f"+{self.chunk_step_fraction:.2f}"]
+        if self.machine != "default":
+            bits.append(f"machine={self.machine}")
         if self.jitter_seed is not None:
             bits.append(f"jitter={self.jitter_seed}")
         if self.faults:
@@ -142,16 +149,22 @@ class ScheduleFuzzer:
 
     def __init__(self, apps: Sequence[str] = EXTENDED_SUITE,
                  scale: str = "test", faults: bool = True,
-                 jitter: bool = True):
+                 jitter: bool = True,
+                 machines: Sequence[str] = ("default",)):
         self.apps = tuple(apps)
         self.scale = scale
         self.faults = faults
         self.jitter = jitter
+        self.machines = tuple(machines) or ("default",)
 
     def config(self, seed: int) -> FuzzConfig:
         rng = random.Random(f"fluidicl-check:{seed}")
-        # round-robin the apps so any seed range covers the whole suite
+        # round-robin the apps so any seed range covers the whole suite;
+        # the machine axis round-robins too, WITHOUT consuming rng draws —
+        # seed N with machines=("default",) must stay byte-identical to
+        # the historical draw (the bench drift gate replays seeds 0..5)
         app = self.apps[seed % len(self.apps)]
+        machine = self.machines[seed % len(self.machines)]
         base = SCALES[self.scale][app]
         size = max(MIN_SIZE, rng.choice((base, base // 2)))
         jitter_seed = None
@@ -182,6 +195,7 @@ class ScheduleFuzzer:
             online_profiling=rng.random() < 0.1,
             jitter_seed=jitter_seed,
             faults=faults,
+            machine=machine,
         )
 
     def configs(self, n: int, start: int = 0) -> List[FuzzConfig]:
@@ -267,12 +281,29 @@ def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL) -> CheckResult:
             wall_seconds=time.perf_counter() - wall_start,
             error=f"not fluidic-safe: {detail}",
         )
-    machine = build_machine(
-        gpu=TESLA_C2070.scaled(config.gpu_scale),
-        cpu=XEON_W3550.scaled(config.cpu_scale),
-        trace=True,
-        interleave_seed=config.jitter_seed,
-    )
+    if config.machine == "default":
+        machine = build_machine(
+            gpu=TESLA_C2070.scaled(config.gpu_scale),
+            cpu=XEON_W3550.scaled(config.cpu_scale),
+            trace=True,
+            interleave_seed=config.jitter_seed,
+        )
+    else:
+        if config.machine not in MACHINE_PRESETS:
+            raise ValueError(
+                f"unknown machine preset {config.machine!r}; "
+                f"have {sorted(MACHINE_PRESETS)}"
+            )
+        devices = [
+            (spec.scaled(config.gpu_scale if spec.kind is DeviceKind.GPU
+                         else config.cpu_scale), link)
+            for spec, link in MACHINE_PRESETS[config.machine]
+        ]
+        machine = build_machine(
+            devices=devices,
+            trace=True,
+            interleave_seed=config.jitter_seed,
+        )
     runtime = FluidiCLRuntime(machine, config=config.runtime_config())
     monitor = CoherenceMonitor().attach(machine.tracer)
     if config.corruption:

@@ -42,6 +42,12 @@ correctness argument (see DESIGN.md, "Schedule-space fuzzing"):
     Every kernel commits exactly once, on the same path it reports at
     kernel end; every kernel that begins also ends (unless the run was
     aborted by an unrecoverable device loss).
+``front-partition``
+    Device-set partitioning: the worker fronts' claimed windows are
+    pairwise disjoint across fronts, cover the flattened range exactly
+    once down to the lowest claimed start, and *redo* windows (failover
+    re-execution of a lost front's spans) only re-cover ranges some other
+    front had already claimed (§4, Fig. 7 generalized to N devices).
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.offsets import coalesce_windows
 from repro.obs.events import TraceEvent
 from repro.obs.recorder import EventRecorder
 
@@ -93,6 +100,11 @@ class _KernelState:
     #: where the next subkernel window must end (walks down from the top)
     next_window_end: int = 0
     windows: List[tuple] = field(default_factory=list)
+    #: non-redo windows per worker front (device name), for the N-device
+    #: partition invariant
+    front_windows: Dict[str, List[tuple]] = field(default_factory=dict)
+    #: failover re-execution windows, checked against foreign coverage
+    redo_windows: List[tuple] = field(default_factory=list)
     #: last accepted status frontier
     frontier: int = 0
     merges_enqueued: int = 0
@@ -214,21 +226,42 @@ class CoherenceMonitor:
         if state is None:
             return
         lo, hi = int(event["fid_start"]), int(event["fid_end"])
+        redo = bool(event.get("redo", False))
+        device = str(event.get("device", "cpu"))
         ok = self._check(
             0 <= lo < hi <= state.total_groups, "cpu-front-partition",
             f"window [{lo}, {hi}) outside NDRange with "
             f"{state.total_groups} groups",
             event.ts, state.kernel_id,
         )
+        if redo:
+            # Failover re-execution of a lost front's span: it does not
+            # continue the descending claim front, but it must re-cover
+            # only ranges some *other* front had already claimed.
+            if ok:
+                foreign = coalesce_windows(
+                    w for d, ws in state.front_windows.items()
+                    if d != device for w in ws
+                )
+                self._check(
+                    any(s <= lo and hi <= e for s, e in foreign),
+                    "front-partition",
+                    f"redo window [{lo}, {hi}) on {device!r} re-covers a "
+                    f"range no other front had claimed",
+                    event.ts, state.kernel_id,
+                )
+            state.redo_windows.append((lo, hi))
+            return
         if ok:
             self._check(
                 hi == state.next_window_end, "cpu-front-partition",
-                f"window [{lo}, {hi}) does not continue the CPU front at "
+                f"window [{lo}, {hi}) does not continue the worker front at "
                 f"{state.next_window_end} (gap or overlap in the flattened "
                 f"range)",
                 event.ts, state.kernel_id,
             )
         state.windows.append((lo, hi))
+        state.front_windows.setdefault(device, []).append((lo, hi))
         state.next_window_end = min(lo, state.next_window_end)
 
     def _on_status(self, event: TraceEvent) -> None:
@@ -382,6 +415,25 @@ class CoherenceMonitor:
                 f"without a merge",
                 event.ts, state.kernel_id,
             )
+        # Invariant #10: the fronts partition the claimed range exactly.
+        claimed = sorted(
+            w for ws in state.front_windows.values() for w in ws
+        )
+        self._check(
+            all(claimed[i][1] <= claimed[i + 1][0]
+                for i in range(len(claimed) - 1)),
+            "front-partition",
+            "worker-front windows overlap across fronts",
+            event.ts, state.kernel_id,
+        )
+        covered = sum(hi - lo for lo, hi in claimed)
+        self._check(
+            covered == total - state.next_window_end, "front-partition",
+            f"fronts claimed {covered} groups but descended to "
+            f"{state.next_window_end} of {total} (every flattened ID must "
+            f"be claimed exactly once)",
+            event.ts, state.kernel_id,
+        )
 
     _HANDLERS = {
         "kernel_begin": _on_kernel_begin,

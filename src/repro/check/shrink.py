@@ -55,6 +55,9 @@ def _candidates(config: FuzzConfig) -> Iterator[tuple]:
                replace(config, faults=remaining))
     if config.jitter_seed is not None:
         yield "disable interleave jitter", replace(config, jitter_seed=None)
+    if config.machine != "default":
+        yield (f"swap machine {config.machine} -> default",
+               replace(config, machine="default"))
     if config.gpu_scale != 1.0:
         yield "reset gpu_scale to 1.0", replace(config, gpu_scale=1.0)
     if config.cpu_scale != 1.0:

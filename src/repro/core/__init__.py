@@ -2,28 +2,38 @@
 
 An OpenCL-shaped runtime (:class:`~repro.core.runtime.FluidiCLRuntime`) that
 takes a host program written for a single device and executes **every kernel
-cooperatively on the CPU and the GPU**:
+cooperatively on all devices of the machine's device set**:
 
-* the GPU runs the NDRange from flattened work-group ID 0 upward, with
-  abort checks against the CPU execution status;
-* a host scheduler thread feeds the CPU *subkernels* from the top end
-  downward, sized by an adaptive chunk heuristic;
-* each subkernel's results are shipped to the GPU (data before status, on an
-  in-order queue) so transfer cost is folded into completion accounting;
-* a data-parallel diff+merge combines the partial buffers on the GPU;
-* buffer version and location tracking keep multi-kernel programs coherent;
+* the anchor device (the classic GPU) runs the NDRange from flattened
+  work-group ID 0 upward, with abort checks against the worker execution
+  status;
+* one host scheduler thread per worker front feeds that device
+  *subkernels* claimed off the shared top frontier
+  (:class:`~repro.core.deviceset.FrontLedger`), each sized by a private
+  adaptive chunk heuristic;
+* each subkernel's results are shipped to the anchor (data before status,
+  on an in-order queue) so transfer cost is folded into completion
+  accounting;
+* a data-parallel diff+merge combines the partial buffers on the anchor,
+  pairwise per contributing front;
+* buffer version and location tracking keep multi-kernel programs coherent
+  across every device copy;
 * a device-to-host thread overlaps read-back with subsequent kernels.
 
-Every optimization from the paper's section 6 is implemented and can be
-toggled via :class:`~repro.core.config.FluidiCLConfig` for the ablation
+The paper's CPU+GPU pair is the two-device special case (the ``default``
+machine preset); N-device sets such as ``cpu+2gpu`` plug in via
+``build_machine(preset=...)`` with no host-program changes.  Every
+optimization from the paper's section 6 is implemented and can be toggled
+via :class:`~repro.core.config.FluidiCLConfig` for the ablation
 experiments (Fig. 15, Table 3, Figs. 17/18).
 """
 
 from repro.core.buffers import DIRTY, FluidiBuffer
 from repro.core.chunking import AdaptiveChunker
 from repro.core.config import FluidiCLConfig
+from repro.core.deviceset import DeviceFront, DeviceSet, FrontLedger
 from repro.core.merge import build_merge_kernel
-from repro.core.offsets import subkernel_slice
+from repro.core.offsets import coalesce_windows, subkernel_slice
 from repro.core.pool import BufferPool
 from repro.core.profiling_opt import OnlineKernelProfiler
 from repro.core.runtime import FluidiCLRuntime
@@ -33,11 +43,15 @@ __all__ = [
     "AdaptiveChunker",
     "BufferPool",
     "DIRTY",
+    "DeviceFront",
+    "DeviceSet",
     "FluidiBuffer",
     "FluidiCLConfig",
     "FluidiCLRuntime",
+    "FrontLedger",
     "KernelRecord",
     "OnlineKernelProfiler",
     "build_merge_kernel",
+    "coalesce_windows",
     "subkernel_slice",
 ]

@@ -1,11 +1,16 @@
-"""Adaptive CPU chunk-size selection (paper §5.1).
+"""Adaptive worker-front chunk-size selection (paper §5.1).
 
 The first subkernel gets ``initial_chunk_fraction`` of the total
 work-groups; after each subkernel the observed average time per work-group
 is compared with the previous one, and the chunk grows by
 ``chunk_step_fraction`` of the total as long as the average keeps
-improving.  The allocation is never smaller than the number of CPU compute
-units ("to ensure full resource utilization").
+improving.  The allocation is never smaller than the device's number of
+compute units ("to ensure full resource utilization").
+
+Each worker front of a device set owns a private chunker (sized by its own
+device's compute units), so an asymmetric set — e.g. big.LITTLE GPUs —
+adapts per device rather than to the pair average.  The classic CPU
+scheduler is the one-worker case.
 """
 
 from __future__ import annotations

@@ -1,10 +1,18 @@
 """Data merging on the GPU (paper §4.3, Fig. 9).
 
 After cooperative execution, the out/inout buffers hold partial results on
-each device.  The merge kernel compares the CPU-computed data (shipped into
-a landing buffer) with a pristine copy of the original contents and copies
-into the GPU buffer every element the CPU changed — a fully data-parallel
-diff+merge that runs on the GPU like any other kernel.
+each device.  The merge kernel compares one worker front's computed data
+(shipped into its landing buffer) with a pristine copy of the original
+contents and copies into the anchor buffer every element that front
+changed — a fully data-parallel diff+merge that runs on the anchor like
+any other kernel.
+
+With several contributing fronts the runtime enqueues one such merge per
+front, pairwise in ascending front order on the in-order application
+queue.  Each landing buffer differs from the pristine original only in
+that front's disjoint claimed windows, so the pairwise merges commute and
+their composition is the union of all contributed ranges.  The classic
+CPU+GPU pair issues exactly one merge per buffer, as in the paper.
 
 The diff granularity is the buffer's base element type, mirroring the
 paper's use of the stored type metadata (they show bytes in Fig. 9 "for

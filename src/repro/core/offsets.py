@@ -10,10 +10,30 @@ range check inside the transformed kernel skips the surplus groups.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 from repro.ocl.ndrange import NDRange
 
-__all__ = ["SubkernelLaunch", "subkernel_slice"]
+__all__ = ["SubkernelLaunch", "coalesce_windows", "subkernel_slice"]
+
+
+def coalesce_windows(
+    windows: Iterable[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Merge flattened-ID windows into maximal disjoint spans.
+
+    Used by the device-set ledger to turn the windows claimed by lost
+    fronts into the redo spans a surviving front must re-execute.  Input
+    windows may arrive in any order; empty windows are dropped.
+    """
+    spans: List[Tuple[int, int]] = []
+    for start, end in sorted(w for w in windows if w[0] < w[1]):
+        if spans and start <= spans[-1][1]:
+            last_start, last_end = spans[-1]
+            spans[-1] = (last_start, max(last_end, end))
+        else:
+            spans.append((start, end))
+    return spans
 
 
 @dataclass(frozen=True)

@@ -1,12 +1,19 @@
-"""The FluidiCL runtime: OpenCL-shaped API, cooperative dual-device engine.
+"""The FluidiCL runtime: OpenCL-shaped API, cooperative device-set engine.
 
-This is the software layer of the paper's Fig. 4: it sits on top of the two
-vendor runtimes (one GPU, one CPU device, each with a discrete address
-space) and exposes the plain single-device OpenCL API.  Every
-``enqueue_nd_range_kernel`` call executes the kernel on *both* devices at
-once (§4), with all data management — original-copy buffers, CPU→GPU result
-shipping, diff+merge, device-to-host read-back, version and location
-tracking — handled transparently.
+This is the software layer of the paper's Fig. 4: it sits on top of the
+vendor runtimes (one per device, each with a discrete address space) and
+exposes the plain single-device OpenCL API.  Every
+``enqueue_nd_range_kernel`` call executes the kernel on *all* devices of
+the set at once (§4), with all data management — original-copy buffers,
+worker→anchor result shipping, diff+merge, device-to-host read-back,
+version and location tracking — handled transparently.
+
+Device 0 is the **anchor** front: it runs the whole NDRange from
+flattened group ID 0 upward with the fluidic abort check, exactly like
+the classic GPU.  The remaining devices are **worker** fronts claiming
+shrinking windows off the shared top frontier (see
+:mod:`repro.core.deviceset`).  The classic CPU+GPU pair is the
+two-device special case and its schedule is unchanged, event for event.
 
 Kernel execution calls are blocking, as in the paper (§7); the
 device-to-host read-back of results proceeds in the background, overlapped
@@ -25,6 +32,7 @@ from repro.analysis.analyzer import analyze_kernel
 from repro.analysis.diagnostics import LintError, Severity
 from repro.core.buffers import FluidiBuffer
 from repro.core.config import FluidiCLConfig
+from repro.core.deviceset import DeviceSet, FrontLedger
 from repro.core.merge import build_merge_kernel, merge_ndrange
 from repro.core.pool import BufferPool
 from repro.obs.metrics import MetricsRegistry
@@ -33,6 +41,7 @@ from repro.core.scheduler import CpuScheduler
 from repro.core.stats import KernelRecord
 from repro.core.watchdog import KernelWatchdog
 from repro.hw.machine import Machine
+from repro.hw.specs import DeviceKind
 from repro.kernels.dsl import KernelSpec
 from repro.kernels.transforms import gpu_fluidic_variant, plain_variant
 from repro.ocl.buffer import Buffer
@@ -58,48 +67,89 @@ class _KernelPlan:
     out_fbuffers: List[FluidiBuffer]
     board: StatusBoard
     gpu_event: Any
-    #: landing buffers on the GPU for CPU-computed data, by arg name
-    cpu_in: Dict[str, Buffer]
+    #: per-worker landing buffers on the anchor for shipped data, keyed by
+    #: front index then arg name
+    landing: Dict[int, Dict[str, Buffer]]
     #: pristine copies of the original contents, by arg name
     orig: Dict[str, Buffer]
-    profiler: OnlineKernelProfiler
+    #: one online profiler per worker front, keyed by front index
+    profilers: Dict[int, OnlineKernelProfiler]
     record: KernelRecord
-    #: CPU-side version each buffer must reach before subkernels start (§5.3)
+    #: shared span-claim ledger for the worker fronts (§4, Fig. 7)
+    ledger: FrontLedger
+    #: index of the CPU-path (primary) worker front
+    primary_index: int
+    #: version each worker copy must reach before subkernels start (§5.3)
     required_cpu_versions: Dict[FluidiBuffer, int] = field(default_factory=dict)
 
-    def cpu_args(self, spec: KernelSpec) -> Dict[str, Any]:
+    def front_args(self, spec: KernelSpec, index: int) -> Dict[str, Any]:
         return {
-            a.name: (self.args[a.name].cpu if a.is_buffer else self.args[a.name])
+            a.name: (self.args[a.name].copies[index] if a.is_buffer
+                     else self.args[a.name])
             for a in spec.args
         }
 
+    def cpu_args(self, spec: KernelSpec) -> Dict[str, Any]:
+        return self.front_args(spec, self.primary_index)
+
     def gpu_args(self, spec: KernelSpec) -> Dict[str, Any]:
-        return {
-            a.name: (self.args[a.name].gpu if a.is_buffer else self.args[a.name])
-            for a in spec.args
-        }
+        return self.front_args(spec, 0)
+
+    @property
+    def cpu_in(self) -> Dict[str, Buffer]:
+        """Legacy view: the primary worker's landing buffers."""
+        return self.landing.get(self.primary_index, {})
+
+    @property
+    def profiler(self) -> Optional[OnlineKernelProfiler]:
+        """Legacy view: the primary worker's profiler."""
+        return self.profilers.get(self.primary_index)
 
 
 class FluidiCLRuntime(AbstractRuntime):
-    """Cooperative CPU+GPU execution behind the single-device OpenCL API."""
+    """Cooperative N-device execution behind the single-device OpenCL API."""
 
     def __init__(self, machine: Machine, config: Optional[FluidiCLConfig] = None,
                  platform: Optional[Platform] = None):
         super().__init__(machine)
         self.config = config or FluidiCLConfig()
         self.platform = platform or Platform(machine)
-        self.gpu_device = self.platform.gpu
-        self.cpu_device = self.platform.cpu
+        self.device_set = DeviceSet(self.platform.devices)
+        self.gpu_device = self.device_set.anchor.device
+        # The CPU-path device: the last CPU-kind device of the set, or the
+        # last device outright (pure-GPU sets like big.little).  Its copy
+        # index doubles as the buffers' ``cpu_index``.
+        cpu_index = len(self.platform.devices) - 1
+        for i, device in enumerate(self.platform.devices):
+            if device.spec.kind is DeviceKind.CPU:
+                cpu_index = i
+        self._cpu_index = cpu_index
+        self.cpu_device = self.platform.devices[cpu_index]
         self.context = self.platform.create_context()
         # The application queue plus the two extra transfer queues (§5.4).
         self.app_queue = self.context.create_queue(self.gpu_device, "fluidicl-app")
         self.hd_queue = self.context.create_queue(self.gpu_device, "fluidicl-hd")
         self.dh_queue = self.context.create_queue(self.gpu_device, "fluidicl-dh")
-        self.cpu_queue = self.context.create_queue(self.cpu_device, "fluidicl-cpu")
-        # Host reads of the CPU copy must not serialize behind (possibly
-        # stale) CPU subkernels, so they travel on their own queue, with
+        # Worker fronts get an in-order compute queue each, plus an I/O
+        # queue: host reads of a worker copy must not serialize behind
+        # (possibly stale) subkernels, so they travel separately with
         # explicit event dependencies on the writes they need.
-        self.cpu_io_queue = self.context.create_queue(self.cpu_device, "fluidicl-cpu-io")
+        sole = len(self.device_set.workers) == 1
+        for front in self.device_set.workers:
+            qname = "fluidicl-cpu" if sole else f"fluidicl-w{front.index}"
+            front.queue = self.context.create_queue(front.device, qname)
+            front.io_queue = self.context.create_queue(
+                front.device, f"{qname}-io" if not sole else "fluidicl-cpu-io"
+            )
+        if self.device_set.workers:
+            if cpu_index != 0:
+                self.primary_front = self.device_set.fronts[cpu_index]
+            else:
+                self.primary_front = self.device_set.workers[0]
+        else:
+            self.primary_front = self.device_set.anchor
+        self.cpu_queue = self.primary_front.queue
+        self.cpu_io_queue = self.primary_front.io_queue
         self.pool = BufferPool(self.gpu_device, enabled=self.config.use_buffer_pool)
         self._versions = itertools.count(1)
         self.buffers: List[FluidiBuffer] = []
@@ -115,6 +165,7 @@ class FluidiCLRuntime(AbstractRuntime):
         self.stats.extra = self.metrics.counter_view()
         self.stats.extra.update(
             gpu_input_refreshes=0,
+            front_input_refreshes=0,
             reads_from_cpu=0,
             reads_from_gpu=0,
             stale_dh_discards=0,
@@ -129,88 +180,142 @@ class FluidiCLRuntime(AbstractRuntime):
             failovers=0,
             watchdog_trips=0,
         )
+        # Per-device read accounting: the kind-level ``reads_from_cpu`` /
+        # ``reads_from_gpu`` keys above stay as aggregates for existing
+        # consumers, but N-device runs need per-name counters or reads
+        # from extra fronts are silently dropped.
+        for device in self.platform.devices:
+            self.stats.extra.update({
+                f"reads_from[{device.name}]": 0,
+                f"watchdog_trips[{device.name}]": 0,
+            })
         # Resilience policy (see repro.faults / DESIGN.md): bounded retry
-        # for transiently failing transfers on both devices.
-        for device in (self.gpu_device, self.cpu_device):
+        # for transiently failing transfers on every device.
+        for device in self.platform.devices:
             device.health.max_transfer_retries = self.config.transfer_max_retries
             device.health.retry_backoff = self.config.transfer_retry_backoff
-        #: a CPU-device loss is reported as one failover, at the end of the
-        #: first kernel it affects
-        self._cpu_failover_traced = False
+        #: a worker-front loss is reported as one failover, at the end of
+        #: the first kernel it affects — once per front, not per kernel
+        self._front_loss_traced: set = set()
         #: lint findings already surfaced, so host programs looping over the
         #: same kernel emit each diagnosis once per runtime, not per launch
         self._lint_seen: set = set()
+
+    @property
+    def _classic_pair(self) -> bool:
+        """True for the paper's two-device GPU+CPU shape (stable wording)."""
+        return len(self.device_set.fronts) == 2
 
     # ------------------------------------------------------------------
     # OpenCL-shaped API
     # ------------------------------------------------------------------
     def create_buffer(self, name: str, shape, dtype,
                       flags: MemFlag = MemFlag.READ_WRITE) -> FluidiBuffer:
-        """``clCreateBuffer``: allocates mirrors on both devices (§4.1)."""
+        """``clCreateBuffer``: allocates mirrors on every device (§4.1)."""
         self.machine.host_api_call()
-        gpu_buf = self.context.create_buffer(
-            self.gpu_device, shape, dtype, flags, f"{name}@gpu"
-        )
-        cpu_buf = self.context.create_buffer(
-            self.cpu_device, shape, dtype, flags, f"{name}@cpu"
-        )
-        fbuf = FluidiBuffer(self.engine, name, gpu_buf, cpu_buf, flags)
+        copies: List[Buffer] = []
+        for front in self.device_set.fronts:
+            if self._classic_pair:
+                suffix = "@gpu" if front.index == 0 else "@cpu"
+            else:
+                suffix = f"@{front.device.name}"
+            copies.append(self.context.create_buffer(
+                front.device, shape, dtype, flags, f"{name}{suffix}"
+            ))
+        fbuf = FluidiBuffer(self.engine, name, flags=flags, copies=copies,
+                            cpu_index=self._cpu_index)
         self.buffers.append(fbuf)
         return fbuf
 
     def enqueue_write_buffer(self, handle: FluidiBuffer,
                              host_array: np.ndarray) -> None:
-        """``clEnqueueWriteBuffer``: one host call, two device transfers."""
+        """``clEnqueueWriteBuffer``: one host call, one transfer per device."""
         self.machine.host_api_call()
         version = next(self._versions)
         snapshot = np.array(host_array, copy=True)
         # A lost device gets no copy — and, crucially, must not be marked
         # current, or later reads would serve stale data from it.
-        gpu_ok = not self.gpu_device.health.lost
-        cpu_ok = not self.cpu_device.health.lost
-        if not (gpu_ok or cpu_ok):
-            raise DeviceLostError("both devices lost; nowhere to write")
-        if gpu_ok:
-            self.app_queue.enqueue_write_buffer(handle.gpu, snapshot)
-        if cpu_ok:
-            handle.last_cpu_write = self.cpu_queue.enqueue_write_buffer(
-                handle.cpu, snapshot
+        ok = [not front.lost for front in self.device_set.fronts]
+        if not any(ok):
+            raise DeviceLostError(
+                "both devices lost; nowhere to write" if self._classic_pair
+                else "all devices lost; nowhere to write"
             )
-        handle.commit_host_write(version, gpu=gpu_ok, cpu=cpu_ok)
+        if ok[0]:
+            event = self.app_queue.enqueue_write_buffer(handle.copies[0],
+                                                        snapshot)
+            # Host reads on the anchor path must quiesce behind this write:
+            # it travels on ``app_queue`` while reads use ``dh_queue``, so
+            # a transfer-fault retry here could otherwise be overtaken.
+            handle.record_host_write(0, event)
+        for front in self.device_set.workers:
+            if ok[front.index]:
+                event = front.queue.enqueue_write_buffer(
+                    handle.copies[front.index], snapshot
+                )
+                handle.record_host_write(front.index, event)
+        handle.commit_host_write(version, mask=ok)
         self.engine.trace("buffer_write", buffer=handle.name, version=version,
-                          nbytes=handle.nbytes, gpu=gpu_ok, cpu=cpu_ok)
+                          nbytes=handle.nbytes, gpu=ok[0],
+                          cpu=ok[self._cpu_index])
         self.stats.writes += 1
 
     def enqueue_read_buffer(self, handle: FluidiBuffer,
                             host_array: np.ndarray) -> None:
         """Blocking ``clEnqueueReadBuffer`` with location tracking (§6.2).
 
-        If the most recent data is already on the CPU (a CPU-complete
-        kernel, or a finished device-to-host read-back), no PCIe transfer
-        is issued at all.
+        If the most recent data is already on the CPU-path front (a
+        front-complete kernel, or a finished device-to-host read-back), no
+        interconnect transfer is issued at all.
         """
         self.machine.host_api_call()
-        use_cpu_copy = handle.cpu_current and (
-            self.config.location_tracking or not handle.gpu_current
+        primary = self._cpu_index
+        use_cpu_copy = primary != 0 and handle.current(primary) and (
+            self.config.location_tracking or not handle.current(0)
         )
         if use_cpu_copy:
-            # The CPU copy is written by host/DH writes *and* by CPU
-            # subkernels on the in-order ``cpu_queue``; the read travels on
-            # ``cpu_io_queue``, so it must carry explicit dependencies on
-            # both kinds of writer — a stale subkernel may still be
-            # executing even though the version tracking says "current".
-            self._quiesce_cpu_copy(handle)
-            event = self.cpu_io_queue.enqueue_read_buffer(handle.cpu, host_array)
+            # Worker copies are written by host/DH writes *and* by
+            # subkernels on the in-order compute queue; the read travels on
+            # the I/O queue, so it must carry explicit dependencies on both
+            # kinds of writer — a stale subkernel may still be executing
+            # even though the version tracking says "current".
+            self._quiesce_copy(handle, primary)
+            event = self.cpu_io_queue.enqueue_read_buffer(
+                handle.copies[primary], host_array
+            )
             self.stats.extra["reads_from_cpu"] += 1
+            self.stats.extra[f"reads_from[{self.cpu_device.name}]"] += 1
             source, device = "cpu", self.cpu_device
-        elif handle.gpu_current:
-            event = self.dh_queue.enqueue_read_buffer(handle.gpu, host_array)
+        elif handle.current(0):
+            # The anchor copy is written on ``app_queue`` (host writes,
+            # merges) while this read uses ``dh_queue``: quiesce the
+            # in-flight writers or a delayed write could be overtaken.
+            self._quiesce_copy(handle, 0)
+            event = self.dh_queue.enqueue_read_buffer(handle.copies[0],
+                                                      host_array)
             self.stats.extra["reads_from_gpu"] += 1
+            self.stats.extra[f"reads_from[{self.gpu_device.name}]"] += 1
             source, device = "gpu", self.gpu_device
         else:
-            raise RuntimeError(
-                f"buffer {handle.name!r} has no coherent copy anywhere"
-            )
+            # N-device sets: some other worker front may hold the only
+            # current copy (e.g. it front-completed the last kernel).
+            for front in reversed(self.device_set.workers):
+                if front.index != primary and handle.current(front.index):
+                    self._quiesce_copy(handle, front.index)
+                    event = front.io_queue.enqueue_read_buffer(
+                        handle.copies[front.index], host_array
+                    )
+                    kind = front.device.spec.kind
+                    legacy = ("reads_from_cpu" if kind is DeviceKind.CPU
+                              else "reads_from_gpu")
+                    self.stats.extra[legacy] += 1
+                    self.stats.extra[f"reads_from[{front.device.name}]"] += 1
+                    source, device = kind.value, front.device
+                    break
+            else:
+                raise RuntimeError(
+                    f"buffer {handle.name!r} has no coherent copy anywhere"
+                )
         self.engine.trace("buffer_read", buffer=handle.name, source=source,
                           nbytes=handle.nbytes, version=handle.latest)
         if self.config.watchdog:
@@ -226,9 +331,9 @@ class FluidiCLRuntime(AbstractRuntime):
             )
         self.stats.reads += 1
 
-    def _quiesce_cpu_copy(self, handle: FluidiBuffer) -> None:
-        """Wait until every in-flight writer of ``handle.cpu`` has finished."""
-        pending = handle.quiesce_events()
+    def _quiesce_copy(self, handle: FluidiBuffer, index: int) -> None:
+        """Wait until every in-flight writer of copy ``index`` has finished."""
+        pending = handle.quiesce_events(index)
         if not pending:
             return
         if len(pending) == 1:
@@ -237,13 +342,17 @@ class FluidiCLRuntime(AbstractRuntime):
         else:
             self.machine.run_until(self.engine.all_of(pending))
 
+    def _quiesce_cpu_copy(self, handle: FluidiBuffer) -> None:
+        """Legacy name: quiesce the CPU-path copy."""
+        self._quiesce_copy(handle, self._cpu_index)
+
     def finish(self) -> None:
         """``clFinish`` on the application-visible work.
 
-        Waits for the GPU-side queues.  A *stale* CPU subkernel (launched
-        just before its kernel completed elsewhere) keeps running in the
-        background and is intentionally not joined — its results are
-        discarded and the host program never observes it, matching the
+        Waits for the anchor-side queues.  A *stale* worker subkernel
+        (launched just before its kernel completed elsewhere) keeps running
+        in the background and is intentionally not joined — its results
+        are discarded and the host program never observes it, matching the
         paper's non-joined scheduler pthread.  Use :meth:`drain` to wait
         for literally everything (tests do).
         """
@@ -267,9 +376,10 @@ class FluidiCLRuntime(AbstractRuntime):
             self.app_queue.finish_event(),
             self.hd_queue.finish_event(),
             self.dh_queue.finish_event(),
-            self.cpu_queue.finish_event(),
-            self.cpu_io_queue.finish_event(),
         ]
+        for front in self.device_set.workers:
+            events.append(front.queue.finish_event())
+            events.append(front.io_queue.finish_event())
         events += [e for e in self._pending_commits if not e.triggered]
         pending = [p for p in self._dh_processes if not p.triggered]
         self.machine.run_until(self.engine.all_of(events + pending))
@@ -351,14 +461,16 @@ class FluidiCLRuntime(AbstractRuntime):
         arg_fbuffers = self._arg_fbuffers(base, args)
         out_fbuffers = [args[a.name] for a in base.out_args]
 
-        # Versions every CPU copy must reach before subkernels may run; the
-        # merge-diff additionally needs the CPU copy of every *written*
-        # buffer to match the GPU's original copy, hence "all buffers".
-        # Buffers already current stay out of the map: expect_write() is
-        # about to mark the out-buffers dirty and nothing would re-fire
-        # their gates.
+        # Versions every worker copy must reach before subkernels may run;
+        # the merge-diff additionally needs the shipped copy of every
+        # *written* buffer to match the anchor's original copy, hence "all
+        # buffers".  Buffers already current everywhere stay out of the
+        # map: expect_write() is about to mark the out-buffers dirty and
+        # nothing would re-fire their gates.
+        workers = self.device_set.workers
         required_cpu_versions = {
-            fb: fb.latest for fb in arg_fbuffers if not fb.cpu_current
+            fb: fb.latest for fb in arg_fbuffers
+            if any(not fb.current(w.index) for w in workers)
         }
 
         self._refresh_gpu_inputs(arg_fbuffers)
@@ -370,12 +482,14 @@ class FluidiCLRuntime(AbstractRuntime):
             required_cpu_versions,
         )
 
-        # Block (kernel calls are blocking, §7) until the GPU kernel exits.
-        # The scheduler thread is NOT joined: an in-flight CPU subkernel
+        # Block (kernel calls are blocking, §7) until the anchor kernel
+        # exits.  Scheduler threads are NOT joined: an in-flight subkernel
         # runs to completion in the background and its results are simply
-        # discarded — the next kernel's CPU work queues behind it on the
-        # in-order CPU queue, exactly as with the paper's pthread scheduler.
-        scheduler = CpuScheduler(self, plan)
+        # discarded — the next kernel's worker-side work queues behind it
+        # on the in-order compute queues, exactly as with the paper's
+        # pthread scheduler.
+        schedulers = [CpuScheduler(self, plan, front=front)
+                      for front in workers]
         if self.config.watchdog:
             KernelWatchdog(self, self.gpu_device, plan.gpu_event.done,
                            self.config.watchdog_timeout,
@@ -383,33 +497,29 @@ class FluidiCLRuntime(AbstractRuntime):
         self.machine.run_until(plan.gpu_event.done)
 
         if plan.gpu_event.cancelled:
-            # GPU lost mid-kernel: the CPU scheduler completes the whole
-            # flattened range and its copy becomes the committed truth.
-            self._failover_to_cpu(plan, scheduler)
+            # Anchor lost mid-kernel: a surviving worker front completes
+            # the whole flattened range and its copy becomes the truth.
+            self._handle_front_loss(plan, schedulers, anchor_lost=True)
         else:
             plan.board.finalize()
             gpu_result = plan.gpu_event.result
             record.gpu_groups = gpu_result.executed_groups
             record.gpu_span = (gpu_result.start_time, gpu_result.end_time)
 
-            # The CPU "completed the whole NDRange first" only if the final
-            # status (data included) made it to the GPU (§4.2).
+            # The workers "completed the whole NDRange first" only if the
+            # final status (data included) made it to the anchor (§4.2) —
+            # and the single-copy commit is only sound when one *surviving*
+            # front holds the entire range; otherwise the shipped landing
+            # data on the (live) anchor is merged instead.
             cpu_complete = plan.board.frontier == 0
-            if cpu_complete:
-                self._commit_cpu_complete(plan)
+            sole = plan.ledger.sole_contributor()
+            if (cpu_complete and sole is not None
+                    and not self.device_set.fronts[sole].lost):
+                self._commit_front_complete(plan, sole)
             else:
                 self._merge_and_commit(plan)
 
-            if self.cpu_device.health.lost and not self._cpu_failover_traced:
-                # The mirror image: the CPU died, the GPU carried the
-                # kernel alone.  Reported once per loss, not per kernel.
-                self._cpu_failover_traced = True
-                self.stats.extra["failovers"] += 1
-                self.engine.trace(
-                    "failover", kernel_id=kernel_id, lost="cpu",
-                    survivor="gpu",
-                    reason=self.cpu_device.health.lost_reason,
-                )
+            self._handle_front_loss(plan, schedulers, anchor_lost=False)
 
         record.end_time = self.now
         path = ("failover" if record.failover
@@ -442,55 +552,97 @@ class FluidiCLRuntime(AbstractRuntime):
                 fbuffers.append(value)
         return fbuffers
 
-    def _refresh_gpu_inputs(self, fbuffers: List[FluidiBuffer]) -> None:
-        """Bring stale GPU copies up to date before launching (cf. §6.2).
+    def _fresh_worker_copy(self, fbuf: FluidiBuffer) -> Optional[int]:
+        """Index of a current worker copy to refresh from (CPU path first)."""
+        if self._cpu_index != 0 and fbuf.current(self._cpu_index):
+            return self._cpu_index
+        for front in self.device_set.workers:
+            if fbuf.current(front.index):
+                return front.index
+        return None
 
-        A GPU copy can only be stale when the previous writer committed on
-        the CPU (CPU-complete path), in which case the CPU copy is current
-        and quiescent, so snapshotting host-side here is race-free.
+    def _refresh_gpu_inputs(self, fbuffers: List[FluidiBuffer]) -> None:
+        """Bring stale device copies up to date before launching (cf. §6.2).
+
+        The anchor copy can only be stale when the previous writer
+        committed on a worker front, in which case that copy is current
+        and quiescent, so snapshotting host-side here is race-free.  With
+        more than two devices the *other* worker copies can also be stale
+        with no read-back in flight (a front-complete commit marks every
+        other copy DIRTY); they are refreshed here too, or their
+        schedulers would wait on a version that never arrives.
         """
         if self.gpu_device.health.lost:
-            # The writes would be cancelled; marking the GPU copies
+            # The writes would be cancelled; marking the anchor copies
             # refreshed anyway would corrupt the version tracking.  The
-            # kernel about to launch fails over to the CPU regardless.
+            # kernel about to launch fails over regardless.
             return
+        wide = len(self.device_set.fronts) > 2
         for fbuf in fbuffers:
-            if fbuf.gpu_current:
+            need_anchor = not fbuf.gpu_current
+            stale_workers = [
+                front for front in self.device_set.workers
+                if wide and not fbuf.current(front.index)
+                and not fbuf.dh_pending_for(front.index) and not front.lost
+            ]
+            if not need_anchor and not stale_workers:
                 continue
-            if not fbuf.cpu_current:
+            source = 0 if fbuf.gpu_current else self._fresh_worker_copy(fbuf)
+            if source is None:
                 raise RuntimeError(
                     f"buffer {fbuf.name!r} stale on both devices"
+                    if self._classic_pair
+                    else f"buffer {fbuf.name!r} stale on every device"
                 )
-            # The previous writer committed on the CPU, but a *stale*
-            # subkernel targeting this buffer may still be executing on the
-            # in-order cpu_queue; quiesce before snapshotting host-side.
-            self._quiesce_cpu_copy(fbuf)
-            snapshot = fbuf.cpu.snapshot()
-            self.app_queue.enqueue_write_buffer(fbuf.gpu, snapshot)
-            fbuf.mark_gpu_refreshed(fbuf.latest)
-            self.stats.extra["gpu_input_refreshes"] += 1
-            self.engine.trace("gpu_input_refresh", buffer=fbuf.name,
-                              version=fbuf.latest, nbytes=fbuf.nbytes)
+            # The previous writer committed on ``source``, but a *stale*
+            # subkernel targeting this buffer may still be executing on an
+            # in-order compute queue; quiesce before snapshotting host-side.
+            self._quiesce_copy(fbuf, source)
+            snapshot = fbuf.copies[source].snapshot()
+            if need_anchor:
+                event = self.app_queue.enqueue_write_buffer(fbuf.copies[0],
+                                                            snapshot)
+                fbuf.record_host_write(0, event)
+                fbuf.mark_gpu_refreshed(fbuf.latest)
+                self.stats.extra["gpu_input_refreshes"] += 1
+                self.engine.trace("gpu_input_refresh", buffer=fbuf.name,
+                                  version=fbuf.latest, nbytes=fbuf.nbytes)
+            for front in stale_workers:
+                if front.index == source:
+                    continue
+                event = front.queue.enqueue_write_buffer(
+                    fbuf.copies[front.index], snapshot
+                )
+                fbuf.record_host_write(front.index, event)
+                fbuf.mark_refreshed(front.index, fbuf.latest)
+                self.stats.extra["front_input_refreshes"] += 1
+                self.engine.trace("front_input_refresh", buffer=fbuf.name,
+                                  device=front.device.name,
+                                  version=fbuf.latest, nbytes=fbuf.nbytes)
 
     def _prepare_plan(self, kernel_id, specs, ndrange, args, out_fbuffers,
                       record, required_cpu_versions) -> _KernelPlan:
         base = specs[0]
-        # Helper buffers on the GPU: CPU-data landing area + original copy
-        # per out/inout buffer (§4.1), served from the pool (§6.1).
-        cpu_in: Dict[str, Buffer] = {}
+        workers = self.device_set.workers
+        # Helper buffers on the anchor: one landing area per worker front
+        # plus an original copy per out/inout buffer (§4.1), served from
+        # the pool (§6.1).
+        landing: Dict[int, Dict[str, Buffer]] = {w.index: {} for w in workers}
         orig: Dict[str, Buffer] = {}
         alloc_seconds = 0.0
         for fbuf in out_fbuffers:
-            landing, t_a = self.pool.acquire(fbuf.shape, fbuf.dtype, "cpuin")
+            for front in workers:
+                area, t_a = self.pool.acquire(fbuf.shape, fbuf.dtype, "cpuin")
+                landing[front.index][fbuf.name] = area
+                alloc_seconds += t_a
             pristine, t_b = self.pool.acquire(fbuf.shape, fbuf.dtype, "orig")
-            cpu_in[fbuf.name] = landing
             orig[fbuf.name] = pristine
-            alloc_seconds += t_a + t_b
+            alloc_seconds += t_b
         if alloc_seconds:
             self.engine.run(self.now + alloc_seconds)
 
         for fbuf in out_fbuffers:
-            self.app_queue.enqueue_copy_buffer(fbuf.gpu, orig[fbuf.name])
+            self.app_queue.enqueue_copy_buffer(fbuf.copies[0], orig[fbuf.name])
 
         board = StatusBoard(self.engine, ndrange.total_groups, kernel_id)
         gpu_variant = gpu_fluidic_variant(
@@ -498,7 +650,11 @@ class FluidiCLRuntime(AbstractRuntime):
             abort_in_loops=self.config.abort_in_loops,
             unroll=self.config.loop_unroll,
         )
-        profiler = OnlineKernelProfiler(specs, enabled=self.config.online_profiling)
+        profilers = {
+            w.index: OnlineKernelProfiler(specs,
+                                          enabled=self.config.online_profiling)
+            for w in workers
+        }
         plan = _KernelPlan(
             kernel_id=kernel_id,
             specs=list(specs),
@@ -507,10 +663,12 @@ class FluidiCLRuntime(AbstractRuntime):
             out_fbuffers=out_fbuffers,
             board=board,
             gpu_event=None,
-            cpu_in=cpu_in,
+            landing=landing,
             orig=orig,
-            profiler=profiler,
+            profilers=profilers,
             record=record,
+            ledger=FrontLedger(ndrange.total_groups),
+            primary_index=self.primary_front.index,
             required_cpu_versions=required_cpu_versions,
         )
         gpu_kernel = Kernel(gpu_variant, plan.gpu_args(base))
@@ -520,77 +678,161 @@ class FluidiCLRuntime(AbstractRuntime):
         )
         return plan
 
-    def _failover_to_cpu(self, plan: _KernelPlan, scheduler: CpuScheduler) -> None:
-        """The GPU died under this kernel's command: degrade gracefully.
+    def _handle_front_loss(self, plan: _KernelPlan,
+                           schedulers: List[CpuScheduler],
+                           anchor_lost: bool) -> None:
+        """Unified front-loss handling for both loss directions.
 
-        The cooperative design makes this cheap — the CPU scheduler is
-        already executing the same kernel from the top of the range, so
-        "failover" is just letting it run to ``frontier == 0`` and then
-        committing its copy, exactly like the §4.2 CPU-complete path (minus
-        the result shipping, which the dead GPU can no longer receive).
+        *Anchor lost*: degrade gracefully — the cooperative design makes
+        this cheap, because the worker fronts are already executing the
+        same kernel from the top of the range.  A surviving *leader* front
+        drains the unclaimed floor plus the redo spans of every other
+        front (their results live in copies the leader cannot merge from)
+        and then its copy is committed, exactly like the §4.2
+        front-complete path minus the result shipping, which the dead
+        anchor can no longer receive.
+
+        *Worker lost* (anchor survived): the kernel was already committed
+        by the caller; each newly lost front is reported as one failover,
+        once per loss rather than per kernel.
         """
         record = plan.record
-        health = self.gpu_device.health
-        self.stats.extra["failovers"] += 1
-        self.engine.trace(
-            "failover", kernel_id=plan.kernel_id, lost="gpu",
-            survivor="cpu", reason=health.lost_reason,
-            frontier=scheduler.frontier,
-        )
-        # Stop shipping results/status to the dead device; the board is
-        # frozen so the record reflects the pre-loss state.
-        plan.board.finalize()
-        self.machine.run_until(scheduler.process)
-        if scheduler.data_lost or scheduler.frontier > 0:
-            raise DeviceLostError(
-                f"kernel {record.name!r} (k{plan.kernel_id}) unrecoverable: "
-                f"GPU lost ({health.lost_reason}) and the CPU could not "
-                f"complete the range (frontier={scheduler.frontier}, "
-                f"data_lost={scheduler.data_lost})"
+        classic = self._classic_pair
+        if anchor_lost:
+            health = self.gpu_device.health
+            # Elect the leader among surviving fronts, preferring ones
+            # whose required input versions already reached their copy —
+            # with the anchor dead, a stale front can never catch up (the
+            # missing data rode the anchor's read-back) — and, among
+            # those, the front holding the most claimed groups: its copy
+            # needs the fewest redo spans re-executed.
+            alive = [s for s in schedulers if not s.front.lost]
+            ready = [s for s in alive if all(
+                fbuf.version_of(s.front.index) >= required
+                for fbuf, required in plan.required_cpu_versions.items()
+            )]
+            leader = max(
+                ready or alive,
+                key=lambda s: plan.ledger.groups_for(s.front.index),
+                default=None,
             )
-        for fbuf in plan.out_fbuffers:
-            fbuf.commit_cpu(plan.kernel_id)
-        record.failover = True
-        record.cpu_completed_all = True
-        record.cpu_groups = plan.ndrange.total_groups
-        record.gpu_groups = 0
-        self.engine.trace("commit", kernel_id=plan.kernel_id, path="failover",
-                          buffers=[f.name for f in plan.out_fbuffers])
-        # The hd queue drains instantly (every pending send cancels), after
-        # which nothing references the helper buffers; the usual release
-        # callback cannot be used because callbacks on a lost device are
-        # themselves cancelled.
-        self.machine.run_until(self.hd_queue.finish_event())
-        for buffer in list(plan.cpu_in.values()) + list(plan.orig.values()):
-            self.pool.release(buffer)
+            if leader is None and schedulers:
+                # Nothing survives, but the (single, in the classic pair)
+                # scheduler still reports the loss uniformly below.
+                leader = schedulers[0]
+            if leader is None:
+                plan.board.finalize()
+                raise DeviceLostError(
+                    f"kernel {record.name!r} (k{plan.kernel_id}) "
+                    f"unrecoverable: anchor {self.gpu_device.name!r} lost "
+                    f"({health.lost_reason}) and no worker front exists"
+                )
+            self.stats.extra["failovers"] += 1
+            self.engine.trace(
+                "failover", kernel_id=plan.kernel_id,
+                lost="gpu" if classic else self.gpu_device.name,
+                survivor="cpu" if classic else leader.front.name,
+                reason=health.lost_reason,
+                frontier=leader.frontier,
+            )
+            # Every other front's claims become the leader's redo spans;
+            # stop shipping results/status to the dead device, and freeze
+            # the board so the record reflects the pre-loss state.
+            plan.ledger.enter_failover(leader.front.index)
+            plan.board.finalize()
+            # The leader's process may have already run dry (other fronts
+            # claimed everything); re-arm it so the redo spans are drained.
+            leader.rearm_for_failover()
+            for scheduler in schedulers:
+                self.machine.run_until(scheduler.process)
+            if leader.data_lost or not leader.completed_all:
+                survivor_name = ("the CPU" if classic
+                                 else f"front {leader.front.name!r}")
+                anchor_name = ("GPU" if classic
+                               else f"anchor {self.gpu_device.name!r}")
+                raise DeviceLostError(
+                    f"kernel {record.name!r} (k{plan.kernel_id}) "
+                    f"unrecoverable: {anchor_name} lost "
+                    f"({health.lost_reason}) and {survivor_name} could not "
+                    f"complete the range (frontier={leader.frontier}, "
+                    f"data_lost={leader.data_lost})"
+                )
+            for fbuf in plan.out_fbuffers:
+                fbuf.commit_front(leader.front.index, plan.kernel_id)
+            record.failover = True
+            record.cpu_completed_all = True
+            record.cpu_groups = plan.ndrange.total_groups
+            record.gpu_groups = 0
+            self.engine.trace("commit", kernel_id=plan.kernel_id,
+                              path="failover",
+                              buffers=[f.name for f in plan.out_fbuffers])
+            # The hd queue drains instantly (every pending send cancels),
+            # after which nothing references the helper buffers; the usual
+            # release callback cannot be used because callbacks on a lost
+            # device are themselves cancelled.
+            self.machine.run_until(self.hd_queue.finish_event())
+            for area in plan.landing.values():
+                for buffer in area.values():
+                    self.pool.release(buffer)
+            for buffer in plan.orig.values():
+                self.pool.release(buffer)
+            return
 
-    def _commit_cpu_complete(self, plan: _KernelPlan) -> None:
-        """§4.2: CPU finished the whole NDRange; GPU results are ignored."""
+        # The mirror image: a worker front died, the surviving fronts
+        # carried the kernel.
+        for front in self.device_set.workers:
+            if front.lost and front.index not in self._front_loss_traced:
+                self._front_loss_traced.add(front.index)
+                self.stats.extra["failovers"] += 1
+                self.engine.trace(
+                    "failover", kernel_id=plan.kernel_id,
+                    lost="cpu" if classic else front.device.name,
+                    survivor="gpu" if classic else self.gpu_device.name,
+                    reason=front.device.health.lost_reason,
+                )
+
+    def _commit_front_complete(self, plan: _KernelPlan, front_index: int) -> None:
+        """§4.2: one front finished the whole NDRange; anchor results are
+        ignored and that front's copy becomes the committed truth."""
         record = plan.record
         record.cpu_completed_all = True
         record.cpu_groups = plan.ndrange.total_groups
         for fbuf in plan.out_fbuffers:
-            fbuf.commit_cpu(plan.kernel_id)
+            fbuf.commit_front(front_index, plan.kernel_id)
         self.engine.trace("commit", kernel_id=plan.kernel_id,
                           path="cpu-complete",
                           buffers=[f.name for f in plan.out_fbuffers])
         self._release_helpers_after_hd_drain(plan)
 
     def _merge_and_commit(self, plan: _KernelPlan) -> None:
-        """Normal path: diff+merge on the GPU, then background read-back."""
+        """Normal path: diff+merge on the anchor, then background read-back.
+
+        With several contributing fronts the merges run pairwise in
+        ascending front order on the in-order ``app_queue`` — each landing
+        buffer differs from the pristine original only in that front's
+        disjoint windows, so the pairwise order is commutative and the
+        result is the union of all contributed ranges.
+        """
         record = plan.record
         record.cpu_groups = plan.board.cpu_completed_groups
 
         if plan.board.cpu_completed_groups > 0:
-            for fbuf in plan.out_fbuffers:
-                self._enqueue_merge(plan, fbuf)
-                self.engine.trace(
-                    "merge_enqueued", kernel_id=plan.kernel_id,
-                    buffer=fbuf.name,
-                    cpu_groups=plan.board.cpu_completed_groups,
-                )
+            contributors = plan.ledger.credited_contributors(
+                plan.board.frontier
+            )
+            for front_index in contributors:
+                for fbuf in plan.out_fbuffers:
+                    self._enqueue_merge(plan, fbuf, front_index)
+                    self.engine.trace(
+                        "merge_enqueued", kernel_id=plan.kernel_id,
+                        buffer=fbuf.name,
+                        cpu_groups=plan.board.cpu_completed_groups,
+                        device=self.device_set.fronts[front_index].name,
+                    )
             record.merged = True
-            self.stats.extra["merges"] += len(plan.out_fbuffers)
+            self.stats.extra["merges"] += (
+                len(plan.out_fbuffers) * len(contributors)
+            )
 
         # Read-back staging copies so the next kernel can overwrite the live
         # buffers while results stream to the host (§5.5).
@@ -603,7 +845,7 @@ class FluidiCLRuntime(AbstractRuntime):
         if alloc_seconds:
             self.engine.run(self.now + alloc_seconds)
         for fbuf in plan.out_fbuffers:
-            self.app_queue.enqueue_copy_buffer(fbuf.gpu, readback[fbuf.name])
+            self.app_queue.enqueue_copy_buffer(fbuf.copies[0], readback[fbuf.name])
 
         # The blocking kernel call returns once the merged result exists.
         # The commit marker is also tracked in ``_pending_commits`` so that
@@ -622,7 +864,8 @@ class FluidiCLRuntime(AbstractRuntime):
         self._spawn_dh_thread(plan, readback)
         self._release_helpers_after_hd_drain(plan)
 
-    def _enqueue_merge(self, plan: _KernelPlan, fbuf: FluidiBuffer) -> None:
+    def _enqueue_merge(self, plan: _KernelPlan, fbuf: FluidiBuffer,
+                       front_index: int) -> None:
         count = int(np.prod(fbuf.shape, dtype=np.int64))
         merged_bytes: List[int] = []
         merge_spec = build_merge_kernel(fbuf.nbytes, fbuf.dtype.itemsize,
@@ -630,15 +873,18 @@ class FluidiCLRuntime(AbstractRuntime):
         merge_kernel = Kernel(
             plain_variant(merge_spec),
             {
-                "cpu_buf": plan.cpu_in[fbuf.name],
+                "cpu_buf": plan.landing[front_index][fbuf.name],
                 "orig": plan.orig[fbuf.name],
-                "gpu_buf": fbuf.gpu,
+                "gpu_buf": fbuf.copies[0],
                 "number_elems": count,
             },
         )
         merge_event = self.app_queue.enqueue_nd_range_kernel(
             merge_kernel, merge_ndrange(count)
         )
+        # Host reads of the anchor copy (on ``dh_queue``) must quiesce
+        # behind this in-flight merge write.
+        fbuf.record_kernel_write(0, merge_event)
 
         def report(_done, kernel_id=plan.kernel_id, fbuf=fbuf):
             self.engine.trace(
@@ -663,6 +909,7 @@ class FluidiCLRuntime(AbstractRuntime):
                           kernel_id=kernel_id,
                           buffers=len(plan.out_fbuffers))
         delivered = 0
+        workers = self.device_set.workers
         for fbuf in plan.out_fbuffers:
             staging_buffer = readback[fbuf.name]
             host_staging = np.empty(fbuf.shape, dtype=fbuf.dtype)
@@ -671,25 +918,34 @@ class FluidiCLRuntime(AbstractRuntime):
             )
             yield read_event.done
             if read_event.cancelled:
-                # GPU died before the staging copy came down; the host
+                # Anchor died before the staging copy came down; the host
                 # array holds no data.  Abandon the delivery (and wake any
                 # §5.3 waiter so it can re-evaluate instead of hanging).
                 self._abandon_dh_delivery(kernel_id, fbuf)
             elif fbuf.latest == kernel_id:
-                write_event = self.cpu_queue.enqueue_write_buffer(
-                    fbuf.cpu, host_staging
-                )
-                fbuf.last_cpu_write = write_event
-                yield write_event.done
-                if write_event.cancelled:
-                    # CPU died before the refresh landed; the CPU copy
-                    # still holds its old (DIRTY) state.
-                    self._abandon_dh_delivery(kernel_id, fbuf)
-                elif fbuf.latest == kernel_id:
-                    fbuf.mark_cpu_refreshed(kernel_id)
+                delivered_all = True
+                for front in workers:
+                    index = front.index
+                    write_event = front.queue.enqueue_write_buffer(
+                        fbuf.copies[index], host_staging
+                    )
+                    fbuf.record_host_write(index, write_event)
+                    yield write_event.done
+                    if write_event.cancelled:
+                        # This front died before the refresh landed; its
+                        # copy still holds its old (DIRTY) state.
+                        self._abandon_dh_delivery(kernel_id, fbuf, index)
+                        delivered_all = False
+                    elif fbuf.latest == kernel_id:
+                        fbuf.mark_refreshed(index, kernel_id)
+                    else:
+                        # The buffer was rewritten meanwhile; the remaining
+                        # deliveries would be just as stale (§5.3).
+                        self._discard_stale_dh(kernel_id, fbuf)
+                        delivered_all = False
+                        break
+                if delivered_all and fbuf.latest == kernel_id:
                     delivered += 1
-                else:
-                    self._discard_stale_dh(kernel_id, fbuf)
             else:
                 # The buffer was rewritten meanwhile; discard (§5.3).
                 self._discard_stale_dh(kernel_id, fbuf)
@@ -702,17 +958,27 @@ class FluidiCLRuntime(AbstractRuntime):
         self.engine.trace("stale_dh_discard", kernel_id=kernel_id,
                           buffer=fbuf.name, superseded_by=fbuf.latest)
 
-    def _abandon_dh_delivery(self, kernel_id: int, fbuf: FluidiBuffer) -> None:
+    def _abandon_dh_delivery(self, kernel_id: int, fbuf: FluidiBuffer,
+                             index: Optional[int] = None) -> None:
         """A device died under this buffer's read-back; it will not arrive."""
-        fbuf.dh_pending = False
-        # Wake §5.3 waiters; they see ``dh_pending`` cleared with the
-        # version unchanged and react (failover data-loss detection).
-        fbuf.cpu_gate.fire(fbuf.version_cpu)
+        if index is None:
+            indices = [front.index for front in self.device_set.workers]
+        else:
+            indices = [index]
+        for i in indices:
+            fbuf.set_dh_pending(i, False)
+            # Wake §5.3 waiters; they see the pending flag cleared with the
+            # version unchanged and react (failover data-loss detection).
+            fbuf.gates[i].fire(fbuf.version_of(i))
 
     def _release_helpers_after_hd_drain(self, plan: _KernelPlan) -> None:
-        """Return cpu_in/orig buffers to the pool once in-flight CPU sends
-        (whose results are now moot) have drained out of the ``hd`` queue."""
-        helpers = list(plan.cpu_in.values()) + list(plan.orig.values())
+        """Return landing/orig buffers to the pool once in-flight worker
+        sends (whose results are now moot) have drained out of the ``hd``
+        queue."""
+        helpers = [
+            buffer for area in plan.landing.values()
+            for buffer in area.values()
+        ] + list(plan.orig.values())
         if not helpers:
             return
 

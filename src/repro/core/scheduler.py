@@ -1,11 +1,17 @@
-"""The CPU scheduler thread (paper §4.2, §5.1, §5.2, §6.6).
+"""Worker-front scheduler threads (paper §4.2, §5.1, §5.2, §6.6).
 
-One scheduler process is spawned per kernel launch.  It waits until the CPU
-copies of the kernel's buffers are up to date (buffer version tracking,
-§5.3), then repeatedly launches CPU *subkernels* over shrinking flattened
-work-group windows from the top of the NDRange, feeding results and status
-messages to the GPU through the ``hd`` queue, until either the work runs out
-or the GPU kernel exits.
+One scheduler process is spawned per worker front per kernel launch.  It
+waits until the front's copies of the kernel's buffers are up to date
+(buffer version tracking, §5.3), then repeatedly launches *subkernels*
+over flattened work-group windows claimed off the shared top frontier of
+the kernel's :class:`~repro.core.deviceset.FrontLedger`, feeding results
+and status messages to the anchor through the ``hd`` queue, until either
+the work runs out or the anchor kernel exits.
+
+With a single worker (the classic CPU+GPU pair) the ledger hands out
+exactly the shrinking top-of-range windows of the paper's CPU scheduler,
+and the status values published at delivery time equal the shipped
+frontier — the two-device schedule is unchanged, event for event.
 """
 
 from __future__ import annotations
@@ -22,33 +28,49 @@ __all__ = ["CpuScheduler"]
 
 
 class CpuScheduler:
-    """Drives CPU-side cooperative execution for one kernel launch."""
+    """Drives one worker front's cooperative execution for one kernel."""
 
-    def __init__(self, runtime, plan):
+    def __init__(self, runtime, plan, front=None):
         self.runtime = runtime
         self.plan = plan
-        #: lowest flattened group ID the CPU has *executed* down to
+        self.front = front if front is not None else runtime.primary_front
+        #: the front's landing buffers on the anchor, by arg name
+        self.landing = plan.landing[self.front.index]
+        #: True when this scheduler owns ``record.chunker`` / the profiler
+        #: choice reported for the kernel (the CPU-path front's scheduler)
+        self.primary = self.front is runtime.primary_front
+        #: lowest flattened group ID this front has *executed* down to
+        #: (the shared claim floor after this front's latest claim)
         self.frontier = plan.ndrange.total_groups
         #: total surplus groups launched due to covering slices (§5.2)
         self.surplus_groups = 0
-        #: True when the CPU device died mid-subkernel (its work is void)
-        self.cpu_lost = False
-        #: True when a required input version can never reach the CPU (it
-        #: was riding a device-to-host read-back from a lost GPU)
+        #: True when this front's device died mid-subkernel (work is void)
+        self.front_lost = False
+        #: True when every claimed span landed and none remains claimable
+        self.completed_all = False
+        #: True when a required input version can never reach this front
+        #: (it was riding a device-to-host read-back from a lost anchor)
         self.data_lost = False
         #: per-version bound Kernel, keyed by id(spec).  The variant and the
-        #: bound args are pure functions of (plan, spec), and the profiler
-        #: keeps every spec alive for this scheduler's lifetime, so each
-        #: version is transformed and bound once instead of per subkernel.
+        #: bound args are pure functions of (plan, spec, front), and the
+        #: profiler keeps every spec alive for this scheduler's lifetime, so
+        #: each version is transformed and bound once instead of per
+        #: subkernel.
         self._kernel_cache = {}
-        self.process = runtime.engine.process(
-            self._run(), name=f"fluidicl-sched-k{plan.kernel_id}"
-        )
+        sole = len(runtime.device_set.workers) <= 1
+        name = (f"fluidicl-sched-k{plan.kernel_id}" if sole
+                else f"fluidicl-sched-k{plan.kernel_id}@{self.front.name}")
+        self.process = runtime.engine.process(self._run(), name=name)
+
+    @property
+    def cpu_lost(self) -> bool:
+        """Legacy alias for :attr:`front_lost`."""
+        return self.front_lost
 
     def _gpu_finished(self) -> bool:
-        """GPU kernel ran to completion.  A *cancelled* GPU event (device
-        lost) does NOT count: the CPU must keep going — it is the failover
-        path's surviving device."""
+        """Anchor kernel ran to completion.  A *cancelled* anchor event
+        (device lost) does NOT count: the workers must keep going — they
+        are the failover path's surviving devices."""
         event = self.plan.gpu_event
         return event.done.triggered and not event.cancelled
 
@@ -59,95 +81,108 @@ class CpuScheduler:
         engine = runtime.engine
         config = runtime.config
         gpu_done = plan.gpu_event.done
+        me = self.front.index
+        ledger = plan.ledger
+        profiler = plan.profilers[me]
 
-        # Set before any exit path: GPU-dominant kernels can finish during
-        # the version wait below, and downstream reporting reads this field
-        # unconditionally.
-        plan.record.version_used = plan.profiler.versions[0].version
+        # Set before any exit path: anchor-dominant kernels can finish
+        # during the version wait below, and downstream reporting reads
+        # this field unconditionally.
+        plan.record.version_used = profiler.versions[0].version
 
         yield engine.timeout(runtime.machine.host.thread_spawn_overhead)
 
-        # -- §5.3: wait until the CPU copies reach the pre-kernel versions --
+        # -- §5.3: wait until this front's copies reach pre-kernel versions --
         for fbuf, required in plan.required_cpu_versions.items():
-            while fbuf.version_cpu < required:
+            while fbuf.version_of(me) < required:
                 if self._gpu_finished():
                     return
-                if plan.gpu_event.cancelled and not fbuf.dh_pending:
+                if plan.gpu_event.cancelled and not fbuf.dh_pending_for(me):
                     # The missing version was coming down from the (now
-                    # lost) GPU and no read-back remains in flight: the
-                    # input data is gone on both devices.
+                    # lost) anchor and no read-back remains in flight: the
+                    # input data is gone everywhere this front can see.
                     self.data_lost = True
                     return
-                waits = [fbuf.cpu_gate.wait()]
+                waits = [fbuf.gate(me).wait()]
                 if not gpu_done.triggered:
                     waits.append(gpu_done)
                 yield engine.any_of(waits)
 
         chunker = AdaptiveChunker(
             plan.ndrange.total_groups,
-            runtime.cpu_device.spec.compute_units,
+            self.front.device.spec.compute_units,
             initial_fraction=config.initial_chunk_fraction,
             step_fraction=config.chunk_step_fraction,
         )
-        plan.record.chunker = chunker
-        profiler = plan.profiler
+        if self.primary:
+            plan.record.chunker = chunker
+        plan.record.chunkers[self.front.name] = chunker
 
         # §6.6: each alternate version is probed with a deliberately small
         # allocation before committing to the fastest one.  Probes round up
         # to a compute-unit multiple like every other allocation, or the
         # partially filled last wave biases the per-group version timings.
-        cu = runtime.cpu_device.spec.compute_units
+        cu = self.front.device.spec.compute_units
         probe_chunk = max(cu, plan.ndrange.total_groups // 100)
         probe_chunk = -(-probe_chunk // cu) * cu
-        while self.frontier > 0 and not self._gpu_finished():
+        while not self._gpu_finished():
+            remaining = ledger.remaining_for(me)
+            if remaining <= 0:
+                break
             spec = profiler.next_version()
             if profiler.probing:
-                chunk = min(probe_chunk, self.frontier)
+                chunk = min(probe_chunk, remaining)
             else:
-                chunk = chunker.next_chunk(self.frontier)
-            start = self.frontier - chunk
+                chunk = chunker.next_chunk(remaining)
+            window = ledger.claim(me, chunk)
+            if window is None:
+                break
+            start, end = window.start, window.end
+            size = end - start
 
-            launch_geometry = subkernel_slice(plan.ndrange, start, self.frontier)
+            launch_geometry = subkernel_slice(plan.ndrange, start, end)
             self.surplus_groups += launch_geometry.surplus_groups
-            plan.record.surplus_groups = self.surplus_groups
+            plan.record.surplus_groups += launch_geometry.surplus_groups
 
             kernel = self._kernel_cache.get(id(spec))
             if kernel is None:
                 variant = cpu_subkernel_variant(spec,
                                                 wg_split=config.cpu_wg_split)
-                kernel = Kernel(variant, plan.cpu_args(spec))
+                kernel = Kernel(variant, plan.front_args(spec, me))
                 self._kernel_cache[id(spec)] = kernel
             launch = LaunchConfig(
                 fid_start=start,
-                fid_end=self.frontier,
+                fid_end=end,
                 kernel_id=plan.kernel_id,
                 wg_split_allowed=config.cpu_wg_split,
             )
             began = engine.now
-            event = runtime.cpu_queue.enqueue_nd_range_kernel(
+            event = self.front.queue.enqueue_nd_range_kernel(
                 kernel, plan.ndrange, launch
             )
-            # Host reads of the CPU copies travel on a separate queue; they
-            # must synchronize on this (possibly stale) subkernel's writes.
+            # Host reads of this front's copies travel on a separate queue;
+            # they must synchronize on this (possibly stale) subkernel's
+            # writes.
             for fbuf in plan.out_fbuffers:
-                fbuf.last_cpu_kernel_write = event
+                fbuf.record_kernel_write(me, event)
             if engine.tracer is not None:
                 engine.trace(
                     "subkernel_launch", kernel=spec.name,
                     kernel_id=plan.kernel_id, fid_start=start,
-                    fid_end=self.frontier, chunk=chunk,
+                    fid_end=end, chunk=size,
                     launched_groups=launch_geometry.launched_groups,
                     surplus_groups=launch_geometry.surplus_groups,
                     version=spec.version, probing=profiler.probing,
+                    device=self.front.name, redo=window.redo,
                 )
             runtime.stats.extra["subkernels_launched"] += 1
             yield event.done
             if event.cancelled:
-                # The CPU device died under this subkernel; its partial
-                # results are void and the frontier did not move.  The GPU
-                # carries the kernel alone from here (the runtime reports
-                # the failover once, at kernel end).
-                self.cpu_lost = True
+                # This front's device died under the subkernel; its partial
+                # results are void and the claimed window never lands.  The
+                # other fronts carry the kernel from here (the runtime
+                # reports the loss once, at kernel end).
+                self.front_lost = True
                 break
             elapsed = engine.now - began
 
@@ -159,23 +194,52 @@ class CpuScheduler:
             # multi-dimensional ranges.
             executed_groups = launch_geometry.launched_groups
             plan.record.subkernels += 1
-            plan.record.chunks.append(chunk)
-            plan.record.cpu_groups_executed += chunk
+            plan.record.chunks.append(size)
+            plan.record.cpu_groups_executed += size
+            plan.record.front_groups[self.front.name] = (
+                plan.record.front_groups.get(self.front.name, 0) + size
+            )
             runtime.metrics.histogram("subkernel_seconds").observe(elapsed)
             if profiler.probing:
                 profiler.observe(elapsed / executed_groups)
             else:
                 chunker.observe(executed_groups, elapsed)
-            if profiler.chosen is not None:
+            if profiler.chosen is not None and self.primary:
                 plan.record.version_used = profiler.chosen.version
 
-            self.frontier = start
+            if not window.redo:
+                self.frontier = start
             if not plan.board.finalized:
                 yield from self._send_results_and_status(start)
 
-        plan.record.version_used = (
-            profiler.chosen.version if profiler.chosen is not None
-            else profiler.versions[0].version
+        self.completed_all = (
+            not self.front_lost and ledger.remaining_for(me) == 0
+        )
+        if self.primary or plan.record.version_used is None:
+            plan.record.version_used = (
+                profiler.chosen.version if profiler.chosen is not None
+                else profiler.versions[0].version
+            )
+
+    # ------------------------------------------------------------------
+    def rearm_for_failover(self) -> None:
+        """Restart the claim loop if it already ran dry (anchor loss).
+
+        A scheduler exits once nothing is claimable *for it* — which with
+        several workers can mean the other fronts claimed everything.  If
+        the anchor then dies and this front is elected failover leader,
+        ``enter_failover`` creates redo spans an exited process would
+        never see, so the old path committed an incomplete copy.  Spawning
+        a fresh run is safe: the §5.3 version wait is already satisfied
+        (the loop only exits past it) and claims are re-checked every lap.
+        """
+        if self.process.is_alive or self.front_lost or self.data_lost:
+            return
+        if self.plan.ledger.remaining_for(self.front.index) <= 0:
+            return
+        self.completed_all = False
+        self.process = self.runtime.engine.process(
+            self._run(), name=f"{self.process.name}-failover"
         )
 
     # ------------------------------------------------------------------
@@ -184,32 +248,54 @@ class CpuScheduler:
 
         Data is snapshotted into intermediate host copies (costing host
         memcpy time on this thread) so subsequent subkernels can keep
-        writing the live CPU buffers while the PCIe transfer proceeds.
+        writing the live device copies while the transfer proceeds.  The
+        delivered status value is the ledger's *committed frontier* — the
+        contiguous landed suffix of the range — which with one worker is
+        exactly the shipped frontier (data precedes status on the in-order
+        ``hd`` queue), and with several workers never over-reports.
         """
         runtime = self.runtime
         plan = self.plan
         engine = runtime.engine
         host = runtime.machine.host
+        front = getattr(self, "front", None)
+        ledger = getattr(plan, "ledger", None)
+        landing = getattr(self, "landing", None) or plan.cpu_in
 
         board = plan.board
+        last_write = None
         for fbuf in plan.out_fbuffers:
             yield engine.timeout(fbuf.nbytes / host.memcpy_bandwidth)
-            snapshot: np.ndarray = fbuf.cpu.snapshot()
+            source = fbuf.copies[front.index] if front is not None else fbuf.cpu
+            snapshot: np.ndarray = source.snapshot()
             # The kernel may have been finalized while we copied; its helper
             # buffers are scheduled for release, so stop sending (§5.3).
             if board.finalized:
                 return
-            runtime.hd_queue.enqueue_write_buffer(
-                plan.cpu_in[fbuf.name], snapshot
+            last_write = runtime.hd_queue.enqueue_write_buffer(
+                landing[fbuf.name], snapshot
             )
 
         if board.finalized:
             return
+        if ledger is not None and front is not None:
+            # The shipment lands (and may advance the committed frontier)
+            # when its last data write completes on the in-order hd queue.
+            mark = ledger.shipment_mark(front.index)
+            index = front.index
+            if last_write is not None:
+                last_write.done.add_callback(
+                    lambda _e, m=mark, i=index: ledger.mark_landed(i, m)
+                )
+            else:
+                ledger.mark_landed(index, mark)
         status_seconds = runtime.gpu_device.link.transfer_time(
             runtime.config.status_message_bytes
         )
 
         def deliver_status(_queue, value=frontier):
+            if ledger is not None:
+                value = ledger.committed_frontier()
             accepted = board.update(engine.now, value)
             engine.trace(
                 "status_delivery", kernel_id=plan.kernel_id,

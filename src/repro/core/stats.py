@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["KernelRecord"]
 
@@ -40,6 +40,13 @@ class KernelRecord:
     end_time: float = 0.0
     #: (start, end) of the GPU-side kernel command
     gpu_span: Tuple[float, float] = (0.0, 0.0)
+    #: the primary worker front's adaptive chunker (None until its
+    #: scheduler gets past the §5.3 version wait)
+    chunker: Optional[Any] = None
+    #: every worker front's chunker, by device name (N-device sets)
+    chunkers: Dict[str, Any] = field(default_factory=dict)
+    #: groups *executed* per worker front, by device name
+    front_groups: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:

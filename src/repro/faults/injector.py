@@ -35,6 +35,9 @@ class FaultInjector:
         self._installed = True
         engine = self.runtime.engine
         for idx, spec in enumerate(self.schedule):
+            # Resolve the target eagerly: an unknown device name should
+            # fail at install time, not mid-simulation inside a process.
+            self._device(spec)
             self._processes.append(engine.process(
                 self._inject(spec),
                 name=f"fault-{idx}-{spec.kind.value}@{spec.device}",
@@ -42,8 +45,20 @@ class FaultInjector:
         return self
 
     def _device(self, spec: FaultSpec):
-        return (self.runtime.gpu_device if spec.device == "gpu"
-                else self.runtime.cpu_device)
+        # Exact device name first (N-device sets), then the classic
+        # kind shorthands "gpu" (the anchor) / "cpu".
+        for device in getattr(self.runtime.platform, "devices", ()):
+            if device.name == spec.device:
+                return device
+        if spec.device == "gpu":
+            return self.runtime.gpu_device
+        if spec.device == "cpu":
+            return self.runtime.cpu_device
+        names = [d.name for d in getattr(self.runtime.platform, "devices", ())]
+        raise ValueError(
+            f"fault targets unknown device {spec.device!r}; this machine "
+            f"has {names} (or use the shorthands 'gpu' / 'cpu')"
+        )
 
     def _inject(self, spec: FaultSpec):
         engine = self.runtime.engine

@@ -44,7 +44,9 @@ class FaultSpec:
     kind: FaultKind
     #: simulated time (seconds) at which the fault strikes
     at: float
-    #: which device it targets: ``"gpu"`` or ``"cpu"``
+    #: which device it targets: the shorthand kinds ``"gpu"`` / ``"cpu"``
+    #: (the classic pair) or any device *name* of an N-device set (e.g.
+    #: ``"Tesla C2070 #2"``) — resolved by the injector against the runtime
     device: str = "gpu"
     #: DEVICE_STALL: how long the device freezes
     duration: float = 0.0
@@ -60,8 +62,10 @@ class FaultSpec:
             object.__setattr__(self, "kind", FaultKind(self.kind))
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
-        if self.device not in _DEVICES:
-            raise ValueError(f"device must be one of {_DEVICES}")
+        if not self.device or not isinstance(self.device, str):
+            raise ValueError(
+                f"device must be one of {_DEVICES} or a device name"
+            )
         if self.kind is FaultKind.DEVICE_STALL and self.duration <= 0:
             raise ValueError("stall faults need duration > 0")
         if self.kind is FaultKind.TRANSFER_FAULT:

@@ -50,6 +50,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--apps", default=None,
                         help="comma-separated benchmark subset "
                              f"(default: {','.join(EXTENDED_SUITE)})")
+    parser.add_argument("--machines", default=None,
+                        help="comma-separated machine presets to round-robin "
+                             "over the seeds (see MACHINE_PRESETS; default: "
+                             "default)")
     parser.add_argument("--no-faults", action="store_true",
                         help="draw configurations without fault schedules")
     parser.add_argument("--no-jitter", action="store_true",
@@ -103,8 +107,10 @@ def _summarize(results: List[CheckResult], skipped: int,
 def check_main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     apps = tuple(args.apps.split(",")) if args.apps else EXTENDED_SUITE
+    machines = (tuple(args.machines.split(","))
+                if args.machines else ("default",))
     fuzzer = ScheduleFuzzer(apps=apps, faults=not args.no_faults,
-                            jitter=not args.no_jitter)
+                            jitter=not args.no_jitter, machines=machines)
     began = time.monotonic()
     deadline = began + args.budget_s if args.budget_s is not None else None
     results: List[CheckResult] = []

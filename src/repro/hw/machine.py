@@ -25,7 +25,7 @@ from repro.obs.recorder import EventRecorder
 from repro.sim.core import Engine
 from repro.sim.trace import Tracer
 
-__all__ = ["Machine", "build_machine"]
+__all__ = ["Machine", "MACHINE_PRESETS", "build_machine"]
 
 
 @dataclass
@@ -57,6 +57,41 @@ class Machine:
         return self.engine.run(event)
 
 
+#: named device sets for :func:`build_machine`.  Device 0 is always the
+#: *anchor* front (it runs the whole NDRange from flattened group ID 0
+#: upward, see ``repro.core.deviceset``); the remaining devices are
+#: shrinking fronts working down from the top of the range.  Names must be
+#: unique within a preset: per-device counters, fault targets and buffer
+#: copies are keyed by device name.
+MACHINE_PRESETS = {
+    # the classic paper testbed (identical to the build_machine defaults)
+    "default": (
+        (TESLA_C2070, PCIE_GEN2_X16),
+        (XEON_W3550, HOST_DDR3),
+    ),
+    # two equal discrete GPUs plus the host CPU
+    "cpu+2gpu": (
+        (TESLA_C2070, PCIE_GEN2_X16),
+        (TESLA_C2070.renamed("Tesla C2070 #2"), PCIE_GEN2_X16),
+        (XEON_W3550, HOST_DDR3),
+    ),
+    # asymmetric big.LITTLE-style multi-GPU: one full-rate GPU fronting a
+    # much smaller one (no CPU-kind device in the set at all)
+    "big.little": (
+        (TESLA_C2070.renamed("Tesla C2070 big"), PCIE_GEN2_X16),
+        (TESLA_C2070.scaled(0.35).renamed("Tesla C2070 little"),
+         PCIE_GEN2_X16),
+    ),
+    # the widest stock set: three GPUs (one half-rate) plus the CPU
+    "cpu+3gpu": (
+        (TESLA_C2070, PCIE_GEN2_X16),
+        (TESLA_C2070.renamed("Tesla C2070 #2"), PCIE_GEN2_X16),
+        (TESLA_C2070.scaled(0.5).renamed("Tesla C2070 #3"), PCIE_GEN2_X16),
+        (XEON_W3550, HOST_DDR3),
+    ),
+}
+
+
 def build_machine(
     gpu: DeviceSpec = TESLA_C2070,
     cpu: DeviceSpec = XEON_W3550,
@@ -65,22 +100,46 @@ def build_machine(
     host: HostSpec = DEFAULT_HOST,
     trace: bool = False,
     interleave_seed: Optional[int] = None,
+    devices: Optional[List[Tuple[DeviceSpec, InterconnectSpec]]] = None,
+    preset: Optional[str] = None,
 ) -> Machine:
     """The default testbed: Tesla C2070 over PCIe 2.0 + Xeon W3550.
 
-    Device order is [gpu, cpu] throughout the repository.  With
-    ``trace=True`` the engine records into an
-    :class:`~repro.obs.recorder.EventRecorder`, so both the flat trace
+    Device order is [gpu, cpu] throughout the repository; device 0 is the
+    anchor front of the cooperative runtime.  N-device sets are built by
+    passing ``devices=[(spec, link), ...]`` explicitly or naming a
+    ``preset`` from :data:`MACHINE_PRESETS` — the two-device default path
+    is unchanged either way.  With ``trace=True`` the engine records into
+    an :class:`~repro.obs.recorder.EventRecorder`, so both the flat trace
     records and the typed event stream (Gantt, Chrome export, overlap
     assertions) are captured from one source.  ``interleave_seed`` arms
     the engine's same-instant interleaving jitter (schedule-space fuzzing,
     see :mod:`repro.check`).
     """
+    if preset is not None:
+        if devices is not None:
+            raise ValueError("pass either devices= or preset=, not both")
+        try:
+            devices = list(MACHINE_PRESETS[preset])
+        except KeyError:
+            raise ValueError(
+                f"unknown machine preset {preset!r}; "
+                f"have {sorted(MACHINE_PRESETS)}"
+            ) from None
+    if devices is None:
+        devices = [(gpu, gpu_link), (cpu, cpu_link)]
+    else:
+        devices = list(devices)
+        if not devices:
+            raise ValueError("a machine needs at least one device")
+        names = [spec.name for spec, _link in devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"device names must be unique, got {names}")
     engine = Engine(tracer=EventRecorder() if trace else None)
     if interleave_seed is not None:
         engine.set_interleave_jitter(random.Random(interleave_seed))
     return Machine(
         engine=engine,
         host=host,
-        devices=[(gpu, gpu_link), (cpu, cpu_link)],
+        devices=devices,
     )

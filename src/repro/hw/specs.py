@@ -83,6 +83,15 @@ class DeviceSpec:
             mem_bandwidth=self.mem_bandwidth * factor,
         )
 
+    def renamed(self, name: str) -> "DeviceSpec":
+        """A copy under a different name.
+
+        Multi-device sets (see :data:`~repro.hw.machine.MACHINE_PRESETS`)
+        need every device name unique: per-device counters, fault targets
+        and buffer copies are all keyed by name.
+        """
+        return replace(self, name=name)
+
 
 @dataclass(frozen=True)
 class HostSpec:

@@ -56,9 +56,12 @@ class StatusBoard:
             raise ValueError(
                 f"frontier {frontier} outside [0, {self.total_groups}]"
             )
-        if frontier > self.frontier:
-            # Out-of-date message; in-order queues make this unreachable in
-            # practice, but guard anyway.
+        if frontier >= self.frontier:
+            # No new information.  A *higher* frontier is an out-of-date
+            # message (unreachable with in-order queues, but guard anyway);
+            # an *equal* one happens with several worker fronts, when a
+            # delivery fires while the committed frontier is stuck behind
+            # an unlanded foreign window.  Either way: discard.
             return False
         self.frontier = frontier
         self.updates.append((now, frontier))

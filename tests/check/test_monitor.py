@@ -258,3 +258,103 @@ class TestStrictMode:
         with pytest.raises(InvariantViolationError) as exc:
             feed(recorder, "buffer_read", buffer="y", version=1)
         assert exc.value.violation.invariant == "stale-read"
+
+
+class TestFrontPartitionInvariant:
+    """Invariant #10: N-device sets — worker-front windows partition the
+    claimed range, and redo windows only re-cover foreign claims."""
+
+    def feed_two_worker_kernel(self, recorder, total=12):
+        feed(recorder, "kernel_begin", kernel_id=1, kernel="k", groups=total)
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=10,
+             fid_end=12, device="gpu-b")
+        feed(recorder, "status_delivery", kernel_id=1, frontier=10,
+             accepted=True)
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=8,
+             fid_end=10, device="cpu")
+        feed(recorder, "status_delivery", kernel_id=1, frontier=8,
+             accepted=True)
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=6,
+             fid_end=8, device="gpu-b")
+        feed(recorder, "status_delivery", kernel_id=1, frontier=6,
+             accepted=True)
+
+    def test_interleaved_worker_fronts_pass(self):
+        recorder, monitor = make_monitor()
+        self.feed_two_worker_kernel(recorder)
+        feed(recorder, "merge_enqueued", kernel_id=1, buffer="y",
+             cpu_groups=6, device="gpu-b")
+        feed(recorder, "merge_done", kernel_id=1, buffer="y",
+             nbytes_merged=16, nbytes_buffer=64, cancelled=False)
+        feed(recorder, "merge_enqueued", kernel_id=1, buffer="y",
+             cpu_groups=6, device="cpu")
+        feed(recorder, "merge_done", kernel_id=1, buffer="y",
+             nbytes_merged=16, nbytes_buffer=64, cancelled=False)
+        feed(recorder, "commit", kernel_id=1, path="merged", buffers=["y"])
+        feed(recorder, "kernel_end", kernel_id=1, path="merged",
+             gpu_groups=6, cpu_groups=6)
+        monitor.final_check()
+        assert monitor.ok, monitor.report()
+
+    def test_redo_over_foreign_claim_passes(self):
+        recorder, monitor = make_monitor()
+        self.feed_two_worker_kernel(recorder)
+        # anchor lost: 'cpu' leads, drains the floor, then re-executes the
+        # other front's [6, 8) and [10, 12) windows as redo spans
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=0,
+             fid_end=6, device="cpu")
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=10,
+             fid_end=12, device="cpu", redo=True)
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=6,
+             fid_end=8, device="cpu", redo=True)
+        feed(recorder, "commit", kernel_id=1, path="failover", buffers=["y"])
+        feed(recorder, "kernel_end", kernel_id=1, path="failover",
+             gpu_groups=0, cpu_groups=12)
+        monitor.final_check()
+        assert monitor.ok, monitor.report()
+
+    def test_redo_over_unclaimed_range_flagged(self):
+        recorder, monitor = make_monitor()
+        self.feed_two_worker_kernel(recorder)
+        # [2, 5) was never claimed by any front: nothing to re-execute
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=2,
+             fid_end=5, device="cpu", redo=True)
+        assert first_invariant(monitor) == "front-partition"
+
+    def test_redo_over_own_claim_flagged(self):
+        recorder, monitor = make_monitor()
+        self.feed_two_worker_kernel(recorder)
+        # [8, 10) belongs to 'cpu' itself — redoing it is double execution,
+        # not failover recovery of a foreign span
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=8,
+             fid_end=10, device="cpu", redo=True)
+        assert first_invariant(monitor) == "front-partition"
+
+    def test_redo_does_not_advance_the_claim_front(self):
+        recorder, monitor = make_monitor()
+        self.feed_two_worker_kernel(recorder)
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=10,
+             fid_end=12, device="cpu", redo=True)
+        # the descending claim front still stands at 6: the next regular
+        # window must continue there, and does
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=4,
+             fid_end=6, device="cpu")
+        assert monitor.ok, monitor.report()
+
+    def test_cross_front_gap_flagged_at_kernel_end(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "kernel_begin", kernel_id=1, kernel="k", groups=12)
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=10,
+             fid_end=12, device="gpu-b")
+        feed(recorder, "subkernel_launch", kernel_id=1, fid_start=6,
+             fid_end=8, device="cpu")
+        feed(recorder, "commit", kernel_id=1, path="merged", buffers=["y"])
+        feed(recorder, "merge_enqueued", kernel_id=1, buffer="y",
+             cpu_groups=4)
+        feed(recorder, "merge_done", kernel_id=1, buffer="y",
+             nbytes_merged=8, nbytes_buffer=64, cancelled=False)
+        feed(recorder, "kernel_end", kernel_id=1, path="merged",
+             gpu_groups=8, cpu_groups=4)
+        assert not monitor.ok
+        tripped = {v.invariant for v in monitor.violations}
+        assert "front-partition" in tripped

@@ -145,3 +145,16 @@ class TestEndToEnd:
         source = reproducer_source(shrunk)
         compile(source, "<reproducer>", "exec")
         assert "stale-read" in source
+
+
+class TestMachineReduction:
+    def test_machine_independent_failure_swaps_back_to_default(self):
+        run = stub_runner(lambda c: c.corruption is not None)
+        shrunk = shrink(noisy_config(machine="cpu+2gpu"), run_fn=run)
+        assert shrunk.minimal.machine == "default"
+        assert any("swap machine" in step for step in shrunk.steps)
+
+    def test_machine_essential_failure_keeps_the_preset(self):
+        run = stub_runner(lambda c: c.machine == "cpu+2gpu")
+        shrunk = shrink(noisy_config(machine="cpu+2gpu"), run_fn=run)
+        assert shrunk.minimal.machine == "cpu+2gpu"

@@ -1,0 +1,123 @@
+"""Front loss under the unified handler: any surviving front completes.
+
+The device-set refactor folded the two asymmetric failover paths (GPU
+lost -> CPU drains, CPU lost -> GPU carries on) into one front-loss
+handler.  The first class is the pre-fix regression: killing the CPU
+mid-run used to mis-commit the landed windows on several apps because
+the "CPU finished everything" commit fired for a front that was already
+lost.  The second class runs the same protocol on a three-device set and
+kills each member in turn — whichever front dies, the survivors must
+finish the range with correct numerics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import FluidiCLRuntime
+from repro.faults import FaultKind, FaultSchedule, FaultSpec, install_faults
+from repro.hw.machine import build_machine
+from repro.polybench.suite import EXTENDED_SUITE, make_app
+
+def midrun_strike(app_name, preset=None):
+    """A strike time inside the first kernel of a clean reference run."""
+    machine = build_machine(preset=preset) if preset else build_machine()
+    runtime = FluidiCLRuntime(machine)
+    app = make_app(app_name, "test")
+    app.execute(runtime, check=False)
+    runtime.drain()
+    record = runtime.records[0]
+    assert record.end_time > record.start_time
+    return record.start_time + 0.5 * (record.end_time - record.start_time)
+
+
+def run_app_with_loss(app_name, device, preset=None, at=None):
+    if at is None:
+        at = midrun_strike(app_name, preset=preset)
+    machine = (build_machine(preset=preset, trace=True) if preset
+               else build_machine(trace=True))
+    runtime = FluidiCLRuntime(machine)
+    install_faults(runtime, FaultSchedule.single(
+        FaultKind.DEVICE_LOSS, at=at, device=device))
+    app = make_app(app_name, "test")
+    result = app.execute(runtime, check=True)
+    runtime.drain()
+    return machine, runtime, result
+
+
+class TestCpuLossRegression:
+    """Pre-fix failure: the sole-contributor commit must never credit a
+    lost front's landing copy (the data lives on the live anchor)."""
+
+    @pytest.mark.parametrize("app_name", EXTENDED_SUITE)
+    def test_killing_cpu_midrun_stays_correct(self, app_name):
+        machine, runtime, result = run_app_with_loss(app_name, "cpu")
+        assert result.correct, (
+            f"{app_name}: wrong numerics after CPU loss "
+            f"(max rel err {result.max_relative_error:.3e})")
+        assert runtime.cpu_device.health.lost
+        failovers = [e for e in machine.tracer.events if e.name == "failover"]
+        assert failovers and failovers[0].attrs["lost"] == "cpu"
+
+    @pytest.mark.parametrize("app_name", EXTENDED_SUITE)
+    def test_killing_gpu_midrun_stays_correct(self, app_name):
+        _machine, runtime, result = run_app_with_loss(app_name, "gpu")
+        assert result.correct, (
+            f"{app_name}: wrong numerics after GPU loss "
+            f"(max rel err {result.max_relative_error:.3e})")
+        assert runtime.gpu_device.health.lost
+
+
+class TestNDeviceFrontLoss:
+    """cpu+2gpu: kill each member by name; the other two finish."""
+
+    NAMES = ("Tesla C2070", "Tesla C2070 #2", "Xeon W3550")
+
+    @pytest.mark.parametrize("victim", NAMES)
+    def test_survivors_complete_the_range(self, victim):
+        machine, runtime, result = run_app_with_loss(
+            "gesummv", victim, preset="cpu+2gpu")
+        assert result.correct, (
+            f"wrong numerics after losing {victim} "
+            f"(max rel err {result.max_relative_error:.3e})")
+        lost = [f.name for f in runtime.device_set.fronts if f.lost]
+        assert lost == [victim]
+        assert len(runtime.device_set.survivors()) == 2
+        failovers = [e for e in machine.tracer.events if e.name == "failover"]
+        assert failovers, "front loss must emit a failover trace event"
+        assert failovers[0].attrs["lost"] == victim
+        assert failovers[0].attrs["survivor"] != victim
+
+    def test_losing_every_worker_leaves_anchor_alone(self):
+        """Both non-anchor fronts die; the anchor carries the kernels."""
+        machine = build_machine(preset="cpu+2gpu", trace=True)
+        runtime = FluidiCLRuntime(machine)
+        strike = midrun_strike("gesummv", preset="cpu+2gpu")
+        install_faults(runtime, FaultSchedule([
+            FaultSpec(FaultKind.DEVICE_LOSS, at=strike,
+                      device="Tesla C2070 #2"),
+            FaultSpec(FaultKind.DEVICE_LOSS, at=strike * 1.2,
+                      device="Xeon W3550"),
+        ]))
+        app = make_app("gesummv", "test")
+        result = app.execute(runtime, check=True)
+        runtime.drain()
+        assert result.correct
+        assert [f.name for f in runtime.device_set.survivors()] \
+            == ["Tesla C2070"]
+
+
+class TestPerDeviceReadCounters:
+    def test_reads_are_attributed_to_the_serving_device(self):
+        machine = build_machine(preset="cpu+2gpu")
+        runtime = FluidiCLRuntime(machine)
+        app = make_app("gesummv", "test")
+        result = app.execute(runtime, check=True)
+        runtime.drain()
+        assert result.correct
+        extra = runtime.stats.extra
+        per_device = [extra.get(f"reads_from[{f.name}]", 0)
+                      for f in runtime.device_set.fronts]
+        # the kind-aggregate keys stay, and per-device counts explain them
+        assert extra["reads_from_cpu"] + extra["reads_from_gpu"] > 0
+        assert sum(per_device) \
+            == extra["reads_from_cpu"] + extra["reads_from_gpu"]

@@ -18,9 +18,22 @@ class TestFaultSpecValidation:
         with pytest.raises(ValueError):
             FaultSpec(kind=FaultKind.DEVICE_LOSS, at=-1e-9)
 
-    def test_unknown_device_rejected(self):
+    def test_empty_device_rejected(self):
         with pytest.raises(ValueError):
-            FaultSpec(kind=FaultKind.DEVICE_LOSS, at=0.0, device="tpu")
+            FaultSpec(kind=FaultKind.DEVICE_LOSS, at=0.0, device="")
+
+    def test_unknown_device_rejected_at_install(self):
+        """Device *names* are only resolvable against a machine, so an
+        unknown target fails when the schedule is installed."""
+        from repro.core.runtime import FluidiCLRuntime
+        from repro.faults import FaultSchedule, install_faults
+        from repro.hw.machine import build_machine
+
+        runtime = FluidiCLRuntime(build_machine())
+        schedule = FaultSchedule(
+            [FaultSpec(kind=FaultKind.DEVICE_LOSS, at=0.0, device="tpu")])
+        with pytest.raises(ValueError, match="unknown device"):
+            install_faults(runtime, schedule)
 
     def test_stall_needs_positive_duration(self):
         with pytest.raises(ValueError):
