@@ -23,6 +23,8 @@ import sys
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.timebase import is_us_aligned
+
 __all__ = [
     "SCHEMA_VERSION",
     "BenchResult",
@@ -39,7 +41,10 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: relative tolerance for "simulated seconds unchanged" (the simulator is
-#: deterministic; anything beyond float noise is a behaviour change)
+#: deterministic; anything beyond float noise is a behaviour change).
+#: When *both* sides land on exact microsecond instants the gate is
+#: stricter still: the integer-tick clock renders aligned instants
+#: exactly, so any difference at all — even one ULP — is drift.
 SIMULATED_RTOL = 1e-9
 
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
@@ -221,9 +226,15 @@ def compare_snapshots(current: BenchSnapshot, baseline: BenchSnapshot,
         drift = False
         if (check_simulated and base.simulated_seconds is not None
                 and cur.simulated_seconds is not None):
-            reference = max(abs(base.simulated_seconds), 1e-300)
-            drift = (abs(cur.simulated_seconds - base.simulated_seconds)
-                     > SIMULATED_RTOL * reference)
+            if is_us_aligned(base.simulated_seconds):
+                # the baseline is an exact microsecond instant, which the
+                # tick clock renders bit-exactly: any difference at all —
+                # including sub-rtol residue creeping back in — is drift
+                drift = cur.simulated_seconds != base.simulated_seconds
+            else:
+                reference = max(abs(base.simulated_seconds), 1e-300)
+                drift = (abs(cur.simulated_seconds - base.simulated_seconds)
+                         > SIMULATED_RTOL * reference)
         out.cases.append(CaseComparison(
             id=base.id,
             baseline_throughput=base.throughput,

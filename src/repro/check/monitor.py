@@ -48,6 +48,11 @@ correctness argument (see DESIGN.md, "Schedule-space fuzzing"):
     once down to the lowest claimed start, and *redo* windows (failover
     re-execution of a lost front's spans) only re-cover ranges some other
     front had already claimed (§4, Fig. 7 generalized to N devices).
+``clock-monotonicity``
+    Observed event timestamps never decrease: the engine's integer-tick
+    clock only moves forward, so the recorder stream is monotone in
+    simulated time (checked for *every* event, not just the handled
+    categories).
 """
 
 from __future__ import annotations
@@ -141,6 +146,8 @@ class CoherenceMonitor:
         self._kernels: Dict[int, _KernelState] = {}
         #: last committed version per buffer name
         self._latest: Dict[str, int] = {}
+        #: timestamp of the last observed event (clock-monotonicity)
+        self._last_ts = float("-inf")
 
     # -- wiring ------------------------------------------------------------
     def attach(self, recorder: EventRecorder) -> "CoherenceMonitor":
@@ -181,6 +188,16 @@ class CoherenceMonitor:
 
     # -- ingestion ---------------------------------------------------------
     def observe(self, event: TraceEvent) -> None:
+        # Invariant #11: the stream is monotone in simulated time.
+        ts = event.ts
+        self._check(
+            ts >= self._last_ts, "clock-monotonicity",
+            f"{event.category} at {ts!r}s observed after an event at "
+            f"{self._last_ts!r}s (simulated clock ran backwards)",
+            ts,
+        )
+        if ts > self._last_ts:
+            self._last_ts = ts
         handler = self._HANDLERS.get(event.category)
         if handler is not None:
             handler(self, event)

@@ -16,6 +16,8 @@ A tripped watchdog is indistinguishable (by design) from an injected
 
 from __future__ import annotations
 
+from repro.sim.timebase import from_ticks
+
 __all__ = ["KernelWatchdog"]
 
 
@@ -36,19 +38,25 @@ class KernelWatchdog:
         )
 
     def _run(self):
+        # Idle time is measured in integer engine ticks, so the re-arm
+        # timeout of ``timeout_ticks - idle_ticks`` wakes this process at
+        # *exactly* the deadline instant and ``idle >= timeout`` trips on
+        # equality — no float-ULP epsilon needed (the pre-tick engine
+        # required an ``idle >= timeout * 0.999`` workaround here because
+        # the wakeup could land one ULP short and re-arm forever).
         engine = self.runtime.engine
         health = self.device.health
-        armed_at = engine.now
+        timeout_ticks = engine.delay_ticks(self.timeout)
+        armed_at = engine.now_ticks
         while not self.awaited.triggered:
             if health.lost:
                 return
-            idle = engine.now - max(health.last_progress, armed_at)
-            # The re-arm wakeup can land one float ULP short of the
-            # deadline, where ``now + remaining == now`` and the clock
-            # would freeze while this loop re-arms forever.  Anything
-            # within 0.1% of the deadline counts as tripped.
-            if idle >= self.timeout * 0.999:
+            idle_ticks = engine.now_ticks - max(
+                health.last_progress_ticks, armed_at
+            )
+            if idle_ticks >= timeout_ticks:
                 self.tripped = True
+                idle = from_ticks(idle_ticks)
                 engine.trace(
                     "device_degraded", device=self.device.name,
                     idle=idle, timeout=self.timeout, label=self.label,
@@ -64,5 +72,5 @@ class KernelWatchdog:
                 return
             yield engine.any_of([
                 self.awaited,
-                engine.timeout(self.timeout - idle),
+                engine.timeout_ticks(timeout_ticks - idle_ticks),
             ])

@@ -48,9 +48,11 @@ class Machine:
         """Advance the clock by one host API call overhead.
 
         Host code is not a simulated process, so API-call costs are applied
-        by nudging the clock forward between events.
+        by nudging the clock forward between events.  ``run_for`` advances
+        by an exact tick delta — summing ``now + overhead`` in floats here
+        used to accumulate one rounding per API call.
         """
-        self.engine.run(self.engine.now + self.host.api_call_overhead)
+        self.engine.run_for(self.host.api_call_overhead)
 
     def run_until(self, event) -> object:
         """Block host execution until ``event`` triggers (drives the engine)."""

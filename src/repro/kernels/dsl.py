@@ -23,6 +23,7 @@ __all__ = [
     "buffer_arg",
     "scalar_arg",
     "WorkGroupContext",
+    "WorkGroupSpan",
     "KernelSpec",
     "KernelVariant",
 ]
@@ -121,6 +122,37 @@ class WorkGroupContext:
         return slice(lo, hi)
 
 
+class WorkGroupSpan(WorkGroupContext):
+    """A contiguous run of dimension-0 work-groups executed as one call.
+
+    For a :class:`KernelSpec` declared ``span_safe`` on a 1-D NDRange the
+    executor hands the body one span covering ``group_count`` consecutive
+    groups instead of ``group_count`` separate contexts: ``item_range(0)``
+    (and therefore ``rows()``) widens to the whole run, so a row-local
+    NumPy body computes the identical update in one vectorized call.
+    """
+
+    __slots__ = ("group_count",)
+
+    def __init__(
+        self,
+        group_id: Tuple[int, ...],
+        num_groups: Tuple[int, ...],
+        local_size: Tuple[int, ...],
+        args: Mapping[str, Any],
+        group_count: int = 1,
+    ):
+        super().__init__(group_id, num_groups, local_size, args)
+        self.group_count = group_count
+
+    def item_range(self, dim: int = 0) -> Tuple[int, int]:
+        start = self.group_id[dim] * self.local_size[dim]
+        width = self.local_size[dim]
+        if dim == 0:
+            width *= self.group_count
+        return start, start + width
+
+
 BodyFn = Callable[[WorkGroupContext], None]
 
 
@@ -136,6 +168,12 @@ class KernelSpec:
     #: computation (paper section 6.6 online profiling), e.g. "baseline" /
     #: "loop-interchanged"
     version: str = "baseline"
+    #: the body is *row-local along dimension 0*: it touches only the item
+    #: rows of its own group (via ``ctx.rows()`` / ``ctx.item_range(0)``),
+    #: so on a 1-D NDRange a contiguous run of groups may be executed as
+    #: one :class:`WorkGroupSpan` — one vectorized NumPy call instead of
+    #: one Python call per group, with the identical data update
+    span_safe: bool = False
 
     def __post_init__(self):
         names = [a.name for a in self.args]

@@ -15,7 +15,6 @@ is exactly the transformed kernel's check granularity.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Tuple
 
@@ -233,33 +232,40 @@ def _monitored_wave(engine, spec, board, t_wg, granularity, i, j):
     effect at the next loop-iteration boundary and the wave (plus everything
     after it) is abandoned.
     """
+    # All wave-deadline arithmetic is integer engine ticks: the re-check
+    # boundaries are exact multiples of ``check_ticks`` and the wave-end
+    # test is ``remaining <= 0`` on integers — the pre-tick float version
+    # needed a ``- 1e-12`` ceil fudge and a ``<= 1e-15`` end epsilon here.
     yield engine.timeout(spec.wave_overhead)
-    check_interval = t_wg / max(1, granularity)
-    wave_start = engine.now
-    wave_end = wave_start + t_wg
+    t_wg_ticks = engine.delay_ticks(t_wg)
+    check_ticks = max(1, t_wg_ticks // max(1, granularity))
+    wave_start = engine.now_ticks
+    wave_end = wave_start + t_wg_ticks
     commit_hi = j
     while True:
         frontier = board.frontier
         if frontier <= i:
-            elapsed = engine.now - wave_start
-            quantized = math.ceil(elapsed / check_interval - 1e-12) * check_interval
-            quantized = min(max(quantized, elapsed), t_wg)
+            elapsed = engine.now_ticks - wave_start
+            # Abort at the next loop-iteration boundary (integer ceil-div).
+            quantized = min(-(-elapsed // check_ticks) * check_ticks,
+                            t_wg_ticks)
             if quantized > elapsed:
-                yield engine.timeout(quantized - elapsed)
+                yield engine.timeout_ticks(quantized - elapsed)
             return i, True
         if frontier < commit_hi:
             commit_hi = frontier
-        remaining = wave_end - engine.now
-        if remaining <= 1e-15:
+        remaining = wave_end - engine.now_ticks
+        if remaining <= 0:
             return commit_hi, False
-        yield engine.any_of([engine.timeout(remaining), board.gate.wait()])
+        yield engine.any_of(
+            [engine.timeout_ticks(remaining), board.gate.wait()]
+        )
 
 
 def _finish(device, kernel: Kernel, ndrange: NDRange, result: KernelRunResult,
             now: float) -> None:
     for lo, hi in result.executed:
-        for fid in range(lo, hi):
-            kernel.run_workgroup(ndrange, fid)
+        kernel.run_span(ndrange, lo, hi)
     device.stats["workgroups_executed"] += result.executed_groups
     device.stats["workgroups_aborted"] += result.aborted_groups
     result.end_time = now

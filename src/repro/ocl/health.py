@@ -26,6 +26,7 @@ from typing import Dict
 
 from repro.sim.core import Engine
 from repro.sim.sync import Gate
+from repro.sim.timebase import from_ticks
 
 __all__ = ["DeviceLostError", "DeviceHealth"]
 
@@ -49,8 +50,9 @@ class DeviceHealth:
         #: fired when the device is declared lost (wakes stall waiters so
         #: they observe the escalation instead of sleeping out the stall)
         self._lost_gate = Gate(engine, name=f"lost:{device_name}")
-        #: heartbeat: last simulated time the device completed any work
-        self.last_progress = 0.0
+        #: heartbeat: engine tick of the last completed wave/command.
+        #: Kept in ticks so the watchdog's idle arithmetic is exact.
+        self.last_progress_ticks = 0
         #: injected transient failures still pending, per DMA direction
         self._pending_transfer_faults: Dict[str, int] = {"h2d": 0, "d2h": 0}
         #: bounded-retry policy for injected transfer failures (the runtime
@@ -71,9 +73,14 @@ class DeviceHealth:
     def stalled(self) -> bool:
         return not self.lost and self.engine.now < self._stalled_until
 
+    @property
+    def last_progress(self) -> float:
+        """Heartbeat as float seconds (tick-derived, read-only)."""
+        return from_ticks(self.last_progress_ticks)
+
     def beat(self) -> None:
         """Record forward progress (called per completed wave/command)."""
-        self.last_progress = self.engine.now
+        self.last_progress_ticks = self.engine.now_ticks
 
     # -- fault application (called by repro.faults / the watchdog) ---------
     def stall(self, duration: float) -> None:

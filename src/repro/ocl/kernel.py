@@ -6,7 +6,12 @@ from typing import Any, Dict, Mapping
 
 from repro.hw.cost import wg_time
 from repro.hw.specs import DeviceSpec
-from repro.kernels.dsl import KernelSpec, KernelVariant, WorkGroupContext
+from repro.kernels.dsl import (
+    KernelSpec,
+    KernelVariant,
+    WorkGroupContext,
+    WorkGroupSpan,
+)
 from repro.ocl.buffer import Buffer
 from repro.ocl.ndrange import NDRange
 
@@ -69,20 +74,55 @@ class Kernel:
         """Per-work-group time of this variant on a device."""
         return wg_time(self.cost, spec, self.variant.time_multiplier)
 
-    def run_workgroup(self, ndrange: NDRange, fid: int) -> None:
-        """Execute the body for one flattened work-group ID (device side)."""
-        gid = ndrange.unflatten_group(fid)
-        resolved = {
+    def _resolved_args(self) -> Dict[str, Any]:
+        return {
             name: (value.array if isinstance(value, Buffer) else value)
             for name, value in self.args.items()
         }
+
+    def run_workgroup(self, ndrange: NDRange, fid: int) -> None:
+        """Execute the body for one flattened work-group ID (device side)."""
         ctx = WorkGroupContext(
-            group_id=gid,
+            group_id=ndrange.unflatten_group(fid),
+            num_groups=ndrange.num_groups,
+            local_size=ndrange.local_size,
+            args=self._resolved_args(),
+        )
+        self.spec.body(ctx)
+
+    def run_span(self, ndrange: NDRange, lo: int, hi: int) -> None:
+        """Execute the bodies for flattened work-group IDs ``[lo, hi)``.
+
+        Argument resolution happens once for the whole span instead of per
+        work-group, and the context object is reused across groups.  A
+        ``span_safe`` kernel on a 1-D NDRange runs the entire contiguous
+        run as a single vectorized :class:`WorkGroupSpan` call.
+        """
+        if hi <= lo:
+            return
+        spec = self.spec
+        resolved = self._resolved_args()
+        if spec.span_safe and len(ndrange.num_groups) == 1:
+            spec.body(WorkGroupSpan(
+                group_id=(lo,),
+                num_groups=ndrange.num_groups,
+                local_size=ndrange.local_size,
+                args=resolved,
+                group_count=hi - lo,
+            ))
+            return
+        body = spec.body
+        ctx = WorkGroupContext(
+            group_id=ndrange.unflatten_group(lo),
             num_groups=ndrange.num_groups,
             local_size=ndrange.local_size,
             args=resolved,
         )
-        self.spec.body(ctx)
+        unflatten = ndrange.unflatten_group
+        body(ctx)
+        for fid in range(lo + 1, hi):
+            ctx.group_id = unflatten(fid)
+            body(ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Kernel {self.name} v={self.spec.version}>"

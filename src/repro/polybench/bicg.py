@@ -56,6 +56,8 @@ def bicg_kernel1(n: int) -> KernelSpec:
         args=(buffer_arg("A"), buffer_arg("p"), buffer_arg("q", Intent.OUT)),
         body=_bicg1_body,
         cost=_row_streaming_cost(n, gpu_mem=0.10, cpu_mem=0.28),
+        # Row-local along dim 0 (writes only q[ctx.rows()]).
+        span_safe=True,
     )
 
 
@@ -66,6 +68,8 @@ def bicg_kernel2(n: int) -> KernelSpec:
         args=(buffer_arg("A"), buffer_arg("r"), buffer_arg("s", Intent.OUT)),
         body=_bicg2_body,
         cost=_row_streaming_cost(n, gpu_mem=0.02, cpu_mem=0.25),
+        # Dim 0 indexes output columns of s; still row-local in span terms.
+        span_safe=True,
     )
 
 

@@ -23,6 +23,7 @@ from repro.sim.core import (
     Engine,
     Event,
     Interrupt,
+    Phase,
     Process,
     SimDeadlockError,
     SimError,
@@ -30,6 +31,14 @@ from repro.sim.core import (
 )
 from repro.sim.resources import Channel, Resource
 from repro.sim.sync import Gate, Latch
+from repro.sim.timebase import (
+    SubMicrosecondResidueError,
+    from_ticks,
+    from_us,
+    is_us_aligned,
+    to_ticks,
+    to_us,
+)
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
@@ -41,11 +50,18 @@ __all__ = [
     "Gate",
     "Interrupt",
     "Latch",
+    "Phase",
     "Process",
     "Resource",
     "SimDeadlockError",
     "SimError",
+    "SubMicrosecondResidueError",
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "from_ticks",
+    "from_us",
+    "is_us_aligned",
+    "to_ticks",
+    "to_us",
 ]

@@ -1,10 +1,29 @@
-"""Core of the discrete-event engine: clock, events and processes."""
+"""Core of the discrete-event engine: clock, events and processes.
+
+Simulated time is an **integer** — fixed-point microseconds, see
+:mod:`repro.sim.timebase` — and the heap is keyed by
+``(time_ticks, phase, tie, seq)`` so same-instant draining follows an
+explicit phase order (:class:`Phase`: COMPLETE < WAKE < LAUNCH < TRACE)
+instead of accidental FIFO ties.  ``Engine.now`` stays a float property
+for every consumer; the float is derived from the integer clock at read
+time and cached, so no float arithmetic ever advances the clock.
+"""
 
 from __future__ import annotations
 
+import enum
+import functools
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.timebase import (
+    NEGATIVE_SLACK_SECONDS,
+    delay_to_ticks,
+    from_ticks,
+    to_ticks,
+)
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -13,6 +32,7 @@ __all__ = [
     "SimError",
     "SimDeadlockError",
     "Interrupt",
+    "Phase",
     "Event",
     "Timeout",
     "Process",
@@ -41,6 +61,30 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class Phase(enum.IntEnum):
+    """Same-instant drain order; lower phases process first.
+
+    * ``COMPLETE`` — completions of device-side work (command events):
+      frontiers advance and resources free before anything else reacts.
+    * ``WAKE`` — ordinary wakeups (timeouts, plain events, processes).
+    * ``LAUNCH`` — new work issued at this instant.
+    * ``TRACE`` — observability bookkeeping, after all semantic events.
+
+    The interleave jitter (:meth:`Engine.set_interleave_jitter`) perturbs
+    ties only *within* a phase — the phase itself is part of the heap key.
+    """
+
+    COMPLETE = 0
+    WAKE = 1
+    LAUNCH = 2
+    TRACE = 3
+
+
+_PHASE_BITS = 2
+_PHASE_WAKE = int(Phase.WAKE)
+_PHASE_MAX = int(Phase.TRACE)
+
+
 class Event:
     """A one-shot occurrence in simulated time.
 
@@ -53,9 +97,16 @@ class Event:
     __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered",
                  "_processed", "name")
 
+    #: same-instant drain phase; subclasses override (a class attribute so
+    #: per-event storage stays slot-only)
+    phase = _PHASE_WAKE
+
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
-        self.callbacks: Optional[list] = []
+        # The callback list is allocated lazily on first registration:
+        # high-volume events (timeouts) typically receive exactly one
+        # callback or none at all.
+        self.callbacks: Optional[list] = None
         self._value: Any = None
         self._ok = True
         self._triggered = False
@@ -111,8 +162,10 @@ class Event:
         If the event has already been processed the callback runs
         immediately (same simulated instant).
         """
-        if self.callbacks is None:
+        if self._processed:
             fn(self)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
 
@@ -134,8 +187,9 @@ class Event:
     def _process(self) -> None:
         self._processed = True
         callbacks, self.callbacks = self.callbacks, None
-        for fn in callbacks:
-            fn(self)
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
@@ -148,16 +202,68 @@ class Timeout(Event):
 
     __slots__ = ("_delay",)
 
+    # Timeouts are born triggered, are never re-triggered and never carry a
+    # per-instance name: those three fields live as class attributes that
+    # shadow the parent slots, so __init__ skips the stores entirely.
+    name = ""
+    _ok = True
+    _triggered = True
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
-        # Timeouts are the engine's highest-volume allocation; the name is
-        # rendered lazily in __repr__ instead of formatted on every call.
-        super().__init__(engine)
-        self._delay = delay
-        self._triggered = True
+        # The engine's highest-volume allocation: fields are stored directly
+        # (no super().__init__ chain), the queue push is inlined, and
+        # delay->tick conversions are memoized on the engine.
+        self.engine = engine
+        self.callbacks = None
         self._value = value
-        engine._schedule(self, delay)
+        self._processed = False
+        self._delay = delay
+        if delay:
+            if delay < 0:
+                if delay < -NEGATIVE_SLACK_SECONDS:
+                    raise ValueError(f"negative timeout delay: {delay}")
+                dt = 0
+            else:
+                cache = engine._tick_cache
+                dt = cache.get(delay)
+                if dt is None:
+                    dt = to_ticks(delay)
+                    if len(cache) < 4096:
+                        cache[delay] = dt
+        else:
+            dt = 0
+        if engine._interleave_rng is None:
+            if dt:
+                key = (engine._now_ticks + dt) << _PHASE_BITS | _PHASE_WAKE
+                buckets = engine._buckets
+                bucket = buckets.get(key)
+                if bucket is None:
+                    free = engine._bucket_free
+                    bucket = free.pop() if free else deque()
+                    buckets[key] = bucket
+                    _heappush(engine._bucket_keys, key)
+                bucket.append(self)
+            else:
+                engine._imm.append(self)
+        else:
+            engine._push_jittered(
+                (engine._now_ticks + dt) << _PHASE_BITS | _PHASE_WAKE, self)
+
+    @classmethod
+    def _at_ticks(cls, engine: "Engine", delay_ticks: int,
+                  value: Any = None) -> "Timeout":
+        """A timeout with an exact integer-tick delay (no float boundary)."""
+        if delay_ticks < 0:
+            raise ValueError(f"negative timeout delay: {delay_ticks} ticks")
+        self = cls.__new__(cls)
+        self.engine = engine
+        self.callbacks = None
+        self._value = value
+        self._processed = False
+        self._delay = from_ticks(delay_ticks)
+        key = (engine._now_ticks + delay_ticks) << _PHASE_BITS | _PHASE_WAKE
+        engine._push(key, self)
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
@@ -172,16 +278,19 @@ class Process(Event):
     A failed event raises its exception at the yield point.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_interrupts")
+    __slots__ = ("_generator", "_waiting_on", "_interrupts", "_resume_cb")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self._interrupts: list = []
+        #: the one bound wakeup callback this process ever registers —
+        #: binding it once avoids a bound-method allocation per yield
+        self._resume_cb = self._resume
         # Kick off at the current instant.
         bootstrap = Event(engine, name=f"init:{self.name}")
-        bootstrap.add_callback(self._resume)
+        bootstrap.add_callback(self._resume_cb)
         bootstrap.succeed()
 
     @property
@@ -206,15 +315,45 @@ class Process(Event):
         self._step(exc, throw=True)
 
     def _resume(self, event: Event) -> None:
+        # The engine's hottest callback: one call per process wakeup.  The
+        # generator send and callback registration are inlined (events
+        # reaching _process are always triggered, so the slot reads are
+        # safe); the interrupt path stays on the slower _step.
         if self._triggered:
             return
         if self._waiting_on is not None and event is not self._waiting_on:
             return  # stale wakeup (e.g. we were interrupted meanwhile)
         self._waiting_on = None
-        if event.ok:
-            self._step(event.value, throw=False)
+        if not event._ok:
+            self._step(event._value, throw=True)
+            return
+        engine = self.engine
+        previous = engine._active_process
+        engine._active_process = self
+        try:
+            target = self._generator.send(event._value)
+        except StopIteration as stop:
+            engine._active_process = previous
+            self._finish(stop.value, ok=True)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            engine._active_process = previous
+            self._finish(exc, ok=False)
+            return
+        engine._active_process = previous
+        if not isinstance(target, Event):
+            self._finish(
+                SimError(f"process {self.name!r} yielded non-event {target!r}"),
+                ok=False,
+            )
+            return
+        self._waiting_on = target
+        if target._processed:
+            self._resume(target)
+        elif target.callbacks is None:
+            target.callbacks = [self._resume_cb]
         else:
-            self._step(event.value, throw=True)
+            target.callbacks.append(self._resume_cb)
 
     def _step(self, value: Any, throw: bool) -> None:
         self.engine._active_process, previous = self, self.engine._active_process
@@ -238,7 +377,7 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
     def _finish(self, value: Any, ok: bool) -> None:
         self._generator = None
@@ -332,19 +471,73 @@ class AllOf(_Condition):
 
 
 class Engine:
-    """The event loop: a priority queue of (time, tie, seq, event)."""
+    """The event loop, keyed ``(time_ticks, phase, tie, seq)``.
+
+    The time/phase pair is packed into one integer key
+    (``ticks << 2 | phase``).  Without interleave jitter the queue is a
+    *calendar*: a dict of per-key FIFO deques plus a small heap of the
+    distinct keys — pushes and pops are O(1) in the common case instead
+    of O(log n) tuple-compare heap operations, and FIFO order within a
+    ``(instant, phase)`` bucket is structural.  With jitter installed the
+    queue falls back to a classic heap of ``(key, tie, seq, event)``
+    entries so seeded interleavings stay reproducible.
+    """
 
     def __init__(self, tracer=None):
-        self.now: float = 0.0
+        #: integer clock, fixed-point microseconds (:mod:`repro.sim.timebase`)
+        self._now_ticks: int = 0
+        #: cached float view of the clock; None when stale
+        self._now_f: Optional[float] = 0.0
+        # -- immediate lane (FIFO mode) --
+        #: WAKE-phase events at the *current* instant: the succeed()/
+        #: zero-delay fast lane (push = append, pop = popleft)
+        self._imm: deque = deque()
+        # -- calendar queue (FIFO mode) --
+        #: key -> deque of events, FIFO within one (instant, phase) bucket
+        self._buckets: dict = {}
+        #: min-heap of the distinct keys present in ``_buckets``
+        self._bucket_keys: list = []
+        #: retired deques, reused to avoid per-bucket allocation
+        self._bucket_free: list = []
+        # -- jittered queue (heap mode) --
         self._heap: list = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: memoized float-delay -> tick conversions (bounded; delays repeat)
+        self._tick_cache: dict = {}
         self.tracer = tracer
         #: if True, a process failing with no observers does not raise
         #: immediately (useful in tests that assert on failure later).
         self.allow_orphan_failures = False
         #: optional RNG perturbing the order of same-instant events
         self._interleave_rng = None
+        # Instance-attribute binding skips one Python frame per call on the
+        # hottest factory (class-level ``timeout`` remains as the API doc).
+        self.timeout = functools.partial(Timeout, self)
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds (derived from the tick clock)."""
+        f = self._now_f
+        if f is None:
+            f = self._now_f = from_ticks(self._now_ticks)
+        return f
+
+    @property
+    def now_ticks(self) -> int:
+        """Current simulated time in integer ticks (exact)."""
+        return self._now_ticks
+
+    def delay_ticks(self, delay: float) -> int:
+        """Exact tick count of a float delay (memoized; clamps float noise)."""
+        cache = self._tick_cache
+        dt = cache.get(delay)
+        if dt is None:
+            dt = delay_to_ticks(delay)
+            if len(cache) < 4096:
+                cache[delay] = dt
+        return dt
 
     # -- factory helpers ----------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -352,6 +545,10 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_ticks(self, delay_ticks: int, value: Any = None) -> Timeout:
+        """A timeout with an exact integer-tick delay (no float boundary)."""
+        return Timeout._at_ticks(self, delay_ticks, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -369,40 +566,138 @@ class Engine:
     # -- scheduling ---------------------------------------------------------
     def set_interleave_jitter(self, rng) -> None:
         """Install a seeded RNG (``random.Random``) that randomizes the
-        processing order of *same-instant* events.
+        processing order of *same-instant, same-phase* events.
 
-        Without jitter, simultaneous events process in schedule (FIFO)
-        order — one fixed interleaving out of the many a real multi-queue
-        OpenCL runtime could exhibit.  The jitter draws a tie-break key per
-        scheduled event, exploring alternative-but-legal interleavings
-        deterministically (same seed, same order).  Event *times* are never
-        perturbed.  Pass ``None`` to restore FIFO order.
+        Without jitter, simultaneous same-phase events process in schedule
+        (FIFO) order — one fixed interleaving out of the many a real
+        multi-queue OpenCL runtime could exhibit.  The jitter draws a
+        tie-break key per scheduled event, exploring
+        alternative-but-legal interleavings deterministically (same seed,
+        same order).  Event *times* are never perturbed, and the
+        :class:`Phase` order is never violated: the tie-break only
+        reorders events within one ``(instant, phase)`` bucket.
         """
         self._interleave_rng = rng
 
+    def _push(self, key: int, event: Event) -> None:
+        """Enqueue ``event`` under a packed ``ticks << 2 | phase`` key."""
+        if self._interleave_rng is None:
+            if key == self._now_ticks << _PHASE_BITS | _PHASE_WAKE:
+                self._imm.append(event)
+                return
+            buckets = self._buckets
+            bucket = buckets.get(key)
+            if bucket is None:
+                free = self._bucket_free
+                bucket = free.pop() if free else deque()
+                buckets[key] = bucket
+                _heappush(self._bucket_keys, key)
+            bucket.append(event)
+        else:
+            self._push_jittered(key, event)
+
+    def _push_jittered(self, key: int, event: Event) -> None:
+        _heappush(self._heap, (
+            key, self._interleave_rng.random(), next(self._seq), event,
+        ))
+
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
-            raise ValueError("cannot schedule into the past")
-        rng = self._interleave_rng
-        tie = rng.random() if rng is not None else 0.0
-        _heappush(self._heap, (self.now + delay, tie, next(self._seq), event))
+        if delay:
+            ticks = self._now_ticks + self.delay_ticks(delay)
+        else:
+            ticks = self._now_ticks
+        self._push(ticks << _PHASE_BITS | event.phase, event)
+
+    def _schedule_at_ticks(self, event: Event, ticks: int) -> None:
+        """Schedule ``event`` at an absolute tick instant (internal)."""
+        self._push(ticks << _PHASE_BITS | event.phase, event)
+
+    def _pop(self) -> Event:
+        """Dequeue the next event, advancing the clock (either mode).
+
+        On an exact key tie between the two queues the calendar side wins:
+        its events were scheduled before jitter was installed (tie 0.0 in
+        the old single-heap encoding), so they precede jittered entries.
+        """
+        keys = self._bucket_keys
+        heap = self._heap
+        imm = self._imm
+        if imm:
+            imm_key = self._now_ticks << _PHASE_BITS | _PHASE_WAKE
+            if (keys and keys[0] <= imm_key
+                    and (not heap or keys[0] <= heap[0][0])):
+                key = keys[0]
+            elif heap and heap[0][0] < imm_key and (
+                    not keys or heap[0][0] < keys[0]):
+                key, _tie, _seq, event = _heappop(heap)
+                ticks = key >> _PHASE_BITS
+                if ticks != self._now_ticks:
+                    self._now_ticks = ticks
+                    self._now_f = None
+                return event
+            else:
+                return imm.popleft()
+        elif keys and (not heap or keys[0] <= heap[0][0]):
+            key = keys[0]
+        elif heap:
+            key, _tie, _seq, event = _heappop(heap)
+            ticks = key >> _PHASE_BITS
+            if ticks != self._now_ticks:
+                self._now_ticks = ticks
+                self._now_f = None
+            return event
+        else:
+            raise SimDeadlockError("no scheduled events")
+        bucket = self._buckets[key]
+        event = bucket.popleft()
+        if not bucket:
+            _heappop(keys)
+            del self._buckets[key]
+            self._bucket_free.append(bucket)
+        ticks = key >> _PHASE_BITS
+        if ticks != self._now_ticks:
+            self._now_ticks = ticks
+            self._now_f = None
+        return event
+
+    def _peek_key(self) -> Optional[int]:
+        """Smallest pending key across both queue modes, or None."""
+        best = self._bucket_keys[0] if self._bucket_keys else None
+        if self._imm:
+            imm_key = self._now_ticks << _PHASE_BITS | _PHASE_WAKE
+            if best is None or imm_key < best:
+                best = imm_key
+        heap = self._heap
+        if heap and (best is None or heap[0][0] < best):
+            best = heap[0][0]
+        return best
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        key = self._peek_key()
+        if key is None:
+            return float("inf")
+        return from_ticks(key >> _PHASE_BITS)
+
+    def peek_ticks(self) -> Optional[int]:
+        """Tick instant of the next scheduled event, or None if none."""
+        key = self._peek_key()
+        if key is None:
+            return None
+        return key >> _PHASE_BITS
 
     def step(self) -> Event:
         """Process one event, advancing the clock."""
-        if not self._heap:
-            raise SimDeadlockError("no scheduled events")
-        self.now, _tie, _seq, event = _heappop(self._heap)
+        event = self._pop()
         event._process()
         return event
 
     # -- run loops ------------------------------------------------------------
-    # The loops below inline step() (localized heappop, no per-event method
-    # dispatch): at hundreds of thousands of events per run, the dispatch
-    # overhead dominated the harness profile.
+    # The loops below inline the queue pop (no per-event method dispatch):
+    # at hundreds of thousands of events per run, the dispatch overhead
+    # dominated the harness profile.  The float view of the clock is
+    # invalidated only when the tick instant actually changes.  Each loop
+    # has a calendar (FIFO) fast path and a heap (jitter) path.
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -412,37 +707,139 @@ class Engine:
         triggers; returns its value, raising if it failed).
         """
         if until is None:
-            heap = self._heap
-            pop = _heappop
-            while heap:
-                self.now, _tie, _seq, event = pop(heap)
+            buckets = self._buckets
+            keys = self._bucket_keys
+            free = self._bucket_free
+            imm = self._imm
+            pop_key = _heappop
+            while True:
+                if self._heap:
+                    self._drain_jittered()
+                if imm:
+                    if (not keys or keys[0]
+                            > self._now_ticks << _PHASE_BITS | _PHASE_WAKE):
+                        imm.popleft()._process()
+                        continue
+                elif not keys:
+                    return None
+                key = keys[0]
+                ticks = key >> _PHASE_BITS
+                if ticks != self._now_ticks:
+                    self._now_ticks = ticks
+                    self._now_f = None
+                bucket = buckets[key]
+                event = bucket.popleft()
+                if not bucket:
+                    pop_key(keys)
+                    del buckets[key]
+                    free.append(bucket)
                 event._process()
-            return None
         if isinstance(until, Event):
             return self._run_until_event(until)
         return self._run_until_time(float(until))
 
-    def _run_until_event(self, event: Event) -> Any:
+    def _drain_jittered(self) -> None:
+        """Drain the heap-mode queue up to the calendar's next key.
+
+        Returns with the heap empty, or with the calendar holding the
+        strictly earlier (or tied) key.
+        """
         heap = self._heap
         pop = _heappop
+        keys = self._bucket_keys
+        imm = self._imm
+        while heap:
+            head_key = heap[0][0]
+            if keys and keys[0] <= head_key:
+                return
+            if imm and self._now_ticks << _PHASE_BITS | _PHASE_WAKE <= head_key:
+                return
+            key, _tie, _seq, event = pop(heap)
+            ticks = key >> _PHASE_BITS
+            if ticks != self._now_ticks:
+                self._now_ticks = ticks
+                self._now_f = None
+            event._process()
+
+    def run_for(self, delay: float) -> None:
+        """Run until ``delay`` seconds from now (exact tick arithmetic)."""
+        self._run_until_ticks(self._now_ticks + self.delay_ticks(delay))
+
+    def _run_until_event(self, event: Event) -> Any:
+        buckets = self._buckets
+        keys = self._bucket_keys
+        free = self._bucket_free
+        imm = self._imm
+        pop_key = _heappop
         while not event._processed:
-            if not heap:
+            if self._heap:
+                head = self._pop()
+            elif imm and (not keys or keys[0]
+                          > self._now_ticks << _PHASE_BITS | _PHASE_WAKE):
+                head = imm.popleft()
+            elif keys:
+                key = keys[0]
+                ticks = key >> _PHASE_BITS
+                if ticks != self._now_ticks:
+                    self._now_ticks = ticks
+                    self._now_f = None
+                bucket = buckets[key]
+                head = bucket.popleft()
+                if not bucket:
+                    pop_key(keys)
+                    del buckets[key]
+                    free.append(bucket)
+            else:
                 raise SimDeadlockError(
                     f"deadlock: ran out of events before {event!r} triggered"
                 )
-            self.now, _tie, _seq, head = pop(heap)
             head._process()
         if not event.ok:
             raise event.value
         return event.value
 
     def _run_until_time(self, deadline: float) -> None:
-        heap = self._heap
-        pop = _heappop
-        while heap and heap[0][0] <= deadline:
-            self.now, _tie, _seq, event = pop(heap)
+        self._run_until_ticks(to_ticks(deadline))
+
+    def _run_until_ticks(self, deadline_ticks: int) -> None:
+        buckets = self._buckets
+        keys = self._bucket_keys
+        free = self._bucket_free
+        pop_key = _heappop
+        # Drain every phase at the deadline instant too.
+        deadline_key = deadline_ticks << _PHASE_BITS | _PHASE_MAX
+        imm = self._imm
+        while True:
+            if self._heap:
+                key = self._peek_key()
+                if key is None or key > deadline_key:
+                    break
+                event = self._pop()
+            elif imm and (not keys or keys[0]
+                          > self._now_ticks << _PHASE_BITS | _PHASE_WAKE):
+                if self._now_ticks << _PHASE_BITS | _PHASE_WAKE > deadline_key:
+                    break
+                event = imm.popleft()
+            elif keys:
+                key = keys[0]
+                if key > deadline_key:
+                    break
+                ticks = key >> _PHASE_BITS
+                if ticks != self._now_ticks:
+                    self._now_ticks = ticks
+                    self._now_f = None
+                bucket = buckets[key]
+                event = bucket.popleft()
+                if not bucket:
+                    pop_key(keys)
+                    del buckets[key]
+                    free.append(bucket)
+            else:
+                break
             event._process()
-        self.now = max(self.now, deadline)
+        if deadline_ticks > self._now_ticks:
+            self._now_ticks = deadline_ticks
+            self._now_f = None
 
     # -- tracing --------------------------------------------------------------
     def trace(self, category: str, **payload: Any) -> None:

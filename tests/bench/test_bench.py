@@ -125,10 +125,44 @@ class TestComparisonGate:
         assert not cmp_.ok
         assert [c.id for c in cmp_.drifted] == ["micro.x"]
 
-    def test_simulated_float_noise_tolerated(self):
+    def test_simulated_float_noise_tolerated_on_residue_baselines(self):
+        # a residue-carrying baseline (cost-model output, not on the
+        # microsecond grid) tolerates sub-rtol float noise
+        base = 1.0000000000004157
         cmp_ = compare_snapshots(
-            snapshot(result(simulated=1.0 + 1e-12)),
-            snapshot(result(simulated=1.0)),
+            snapshot(result(simulated=base + 1e-12)),
+            snapshot(result(simulated=base)),
+            threshold=1.5,
+        )
+        assert cmp_.ok
+
+    def test_aligned_baseline_requires_exact_equality(self):
+        # 10000.000001 is within 1e-9 relative of 10000.0, but both are
+        # exact microsecond instants: the tick clock renders those
+        # bit-exactly, so any difference is real drift
+        cmp_ = compare_snapshots(
+            snapshot(result(simulated=10000.000001)),
+            snapshot(result(simulated=10000.0)),
+            threshold=1.5,
+        )
+        assert not cmp_.ok
+        assert [c.id for c in cmp_.drifted] == ["micro.x"]
+
+    def test_aligned_baseline_flags_reintroduced_residue(self):
+        # the historical condition_wait drift: 0.0199999... vs an exact
+        # 0.02 baseline passes rtol but must flag now
+        cmp_ = compare_snapshots(
+            snapshot(result(simulated=0.019999999999999348)),
+            snapshot(result(simulated=0.02)),
+            threshold=1.5,
+        )
+        assert not cmp_.ok
+        assert [c.id for c in cmp_.drifted] == ["micro.x"]
+
+    def test_aligned_baseline_exact_match_passes(self):
+        cmp_ = compare_snapshots(
+            snapshot(result(simulated=0.02)),
+            snapshot(result(simulated=0.02)),
             threshold=1.5,
         )
         assert cmp_.ok

@@ -358,3 +358,37 @@ class TestFrontPartitionInvariant:
         assert not monitor.ok
         tripped = {v.invariant for v in monitor.violations}
         assert "front-partition" in tripped
+
+
+class TestClockMonotonicityInvariant:
+    """Invariant #11: observed timestamps never decrease."""
+
+    def test_monotone_stream_passes(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "kernel_begin", ts=0.0, kernel_id=1, kernel="k",
+             groups=4)
+        feed(recorder, "subkernel_launch", ts=1e-6, kernel_id=1,
+             fid_start=0, fid_end=4)
+        feed(recorder, "status_delivery", ts=1e-6, kernel_id=1,
+             frontier=0, accepted=True)  # same-instant ties are fine
+        assert monitor.ok, monitor.report()
+
+    def test_backwards_timestamp_flagged(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "kernel_begin", ts=2e-6, kernel_id=1, kernel="k",
+             groups=4)
+        feed(recorder, "pool_miss", ts=1e-6)
+        assert first_invariant(monitor) == "clock-monotonicity"
+
+    def test_unhandled_categories_are_checked_too(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "cmd_start", ts=5e-6)
+        feed(recorder, "cmd_end", ts=4e-6)
+        assert first_invariant(monitor) == "clock-monotonicity"
+
+    def test_strict_mode_raises_at_the_instant(self):
+        recorder = EventRecorder()
+        monitor = CoherenceMonitor(strict=True).attach(recorder)
+        feed(recorder, "cmd_start", ts=5e-6)
+        with pytest.raises(InvariantViolationError):
+            feed(recorder, "cmd_start", ts=3e-6)

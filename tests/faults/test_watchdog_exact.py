@@ -1,0 +1,104 @@
+"""Watchdog deadline exactness on the integer-tick clock.
+
+PR 2 shipped the watchdog with a float-ULP epsilon (``idle >= timeout *
+0.999``) because the re-arm wakeup could land one ULP short of the
+deadline and spin the loop forever.  On the tick clock the re-arm fires
+at *exactly* the deadline instant and the trip test is exact integer
+arithmetic, so the epsilon is gone — these tests pin both halves:
+
+* no trip one heartbeat-width *early* (the 0.999 epsilon tripped a
+  device that had made progress 0.1% of a timeout ago);
+* a guaranteed trip at exactly ``last_progress + timeout``, including
+  when the heartbeat instant carries sub-microsecond residue (the old
+  ULP-starved spin case — this test hangs on the float engine).
+"""
+
+from repro.core.runtime import FluidiCLRuntime
+from repro.core.watchdog import KernelWatchdog
+from repro.hw.machine import build_machine
+from repro.sim.timebase import TICKS_PER_US, to_ticks
+
+TIMEOUT = 5e-3  # 5000 us, microsecond-aligned
+
+
+def _runtime():
+    machine = build_machine(trace=True)
+    return machine, FluidiCLRuntime(machine)
+
+
+class TestExactDeadline:
+    def test_trips_exactly_at_armed_plus_timeout(self):
+        machine, runtime = _runtime()
+        engine = machine.engine
+        device = runtime.gpu_device
+        awaited = engine.event("never-fires")
+        wd = KernelWatchdog(runtime, device, awaited, TIMEOUT, label="exact")
+        engine.run()
+        assert wd.tripped
+        assert device.health.lost
+        # Exactly 5000 us — not 4999.99-something, not one ULP short.
+        assert engine.now == TIMEOUT
+        assert engine.now_ticks == 5000 * TICKS_PER_US
+
+    def test_heartbeat_defers_trip_to_exact_new_deadline(self):
+        """A beat at 4 us must move the trip to exactly 5004 us.
+
+        Pre-fix-failing case: the epsilon watchdog's first re-arm woke at
+        5000 us where ``idle = 4996 us >= 0.999 * 5000 us`` and tripped
+        the device 4 us *early* even though it had just made progress.
+        """
+        machine, runtime = _runtime()
+        engine = machine.engine
+        device = runtime.gpu_device
+        awaited = engine.event("never-fires")
+        beat_at = 4e-6
+
+        def beater():
+            yield engine.timeout(beat_at)
+            device.health.beat()
+
+        engine.process(beater())
+        wd = KernelWatchdog(runtime, device, awaited, TIMEOUT, label="beat")
+        engine.run()
+        assert wd.tripped
+        assert engine.now == 0.005004
+        assert engine.now_ticks == 5004 * TICKS_PER_US
+
+    def test_residue_heartbeat_terminates_exactly(self):
+        """Heartbeat at a sub-microsecond-residue instant: the float
+        engine's ``now + remaining == now`` ULP spin is impossible — the
+        re-arm is an exact tick delta and the loop trips at exactly
+        ``beat_ticks + timeout_ticks``."""
+        machine, runtime = _runtime()
+        engine = machine.engine
+        device = runtime.gpu_device
+        awaited = engine.event("never-fires")
+        beat_at = (1 / 3) * 1e-5  # 3.333... us: carries tick residue
+
+        def beater():
+            yield engine.timeout(beat_at)
+            device.health.beat()
+
+        engine.process(beater())
+        wd = KernelWatchdog(runtime, device, awaited, TIMEOUT, label="residue")
+        engine.run()  # must terminate (the old engine could spin forever)
+        assert wd.tripped
+        assert engine.now_ticks == to_ticks(beat_at) + engine.delay_ticks(
+            TIMEOUT
+        )
+
+    def test_no_trip_when_awaited_fires_first(self):
+        machine, runtime = _runtime()
+        engine = machine.engine
+        device = runtime.gpu_device
+        awaited = engine.event("finishes")
+        wd = KernelWatchdog(runtime, device, awaited, TIMEOUT, label="ok")
+
+        def finisher():
+            yield engine.timeout(TIMEOUT - 1e-6)
+            awaited.succeed()
+
+        engine.process(finisher())
+        engine.run()
+        assert not wd.tripped
+        assert not device.health.lost
