@@ -260,13 +260,18 @@ def preflight_lint(app, config: FuzzConfig) -> List[LintReport]:
     return [r for r in reports if not r.fluidic_safe]
 
 
-def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL) -> CheckResult:
+def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL,
+               trace_path: Optional[str] = None) -> CheckResult:
     """Execute one fuzz configuration and check every invariant.
 
     Before anything is scheduled, the static analyzer (:mod:`repro.analysis`)
     vets the app's kernels: a kernel that is not fluidic-safe would produce
     oracle mismatches by construction, so the run is skipped with outcome
     ``"lint-rejected"`` instead of reported as a (spurious) failure.
+
+    ``trace_path``, when set, writes the run's full event stream as
+    Chrome-trace JSON after the final invariant check (used by the
+    ``scenarios`` CLI to ship an inspectable artifact per run).
     """
     wall_start = time.perf_counter()
     app = make_app(config.app, scale="test", size=config.size)
@@ -329,6 +334,11 @@ def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL) -> CheckResult:
         outcome = "error"
         error = f"{type(err).__name__}: {err}"
     monitor.final_check(aborted=(outcome != "ok"))
+    if trace_path is not None:
+        from repro.obs.chrome import write_chrome_trace
+
+        write_chrome_trace(trace_path, machine.tracer,
+                           process_name=f"fluidicl:{config.app}")
     return CheckResult(
         config=config,
         outcome=outcome,

@@ -45,10 +45,16 @@ class FaultInjector:
         return self
 
     def _device(self, spec: FaultSpec):
-        # Exact device name first (N-device sets), then the classic
-        # kind shorthands "gpu" (the anchor) / "cpu".
-        for device in getattr(self.runtime.platform, "devices", ()):
+        # Exact device name first (N-device sets), then the name modulo a
+        # what-if scaling suffix ("Tesla C2070x0.5" still answers to
+        # "Tesla C2070"), then the classic kind shorthands "gpu" (the
+        # anchor) / "cpu".
+        devices = getattr(self.runtime.platform, "devices", ())
+        for device in devices:
             if device.name == spec.device:
+                return device
+        for device in devices:
+            if device.name.startswith(spec.device + "x"):
                 return device
         if spec.device == "gpu":
             return self.runtime.gpu_device

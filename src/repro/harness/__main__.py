@@ -16,6 +16,10 @@ Subcommands:
   pinned benchmark matrix, persist a ``BENCH_<n>.json`` snapshot and gate
   wall-clock regressions against the committed baseline (see
   :mod:`repro.harness.bench_cli` and :mod:`repro.bench`).
+- ``python -m repro.harness scenarios [--list] [names...]`` — run named,
+  seeded demo scenarios (app x machine preset x fault schedule x chunker
+  settings) through the coherence-checked fuzzer pipeline (see
+  :mod:`repro.harness.scenarios_cli`).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from repro.harness.check_cli import check_main
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.harness.extensions import EXTENSION_EXPERIMENTS
 from repro.harness.lint_cli import lint_main
+from repro.harness.scenarios_cli import scenarios_main
 from repro.harness.trace_cli import trace_main
 
 
@@ -43,6 +48,8 @@ def main(argv=None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        return scenarios_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the FluidiCL paper's tables and figures.",
@@ -54,7 +61,9 @@ def main(argv=None) -> int:
             "the static kernel analyzer over the suite and examples "
             "(python -m repro.harness lint --help); 'bench' runs the "
             "pinned benchmark matrix and persists a BENCH_<n>.json "
-            "snapshot (python -m repro.harness bench --help)."
+            "snapshot (python -m repro.harness bench --help); 'scenarios' "
+            "runs named seeded demo scenarios through the coherence-"
+            "checked pipeline (python -m repro.harness scenarios --help)."
         ),
     )
     parser.add_argument(

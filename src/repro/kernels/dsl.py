@@ -174,6 +174,14 @@ class KernelSpec:
     #: one :class:`WorkGroupSpan` — one vectorized NumPy call instead of
     #: one Python call per group, with the identical data update
     span_safe: bool = False
+    #: optional per-work-group cost weights, indexed by *flattened* group
+    #: ID (length must equal the launch NDRange's total_groups).  ``None``
+    #: — the dense-polybench regime — keeps every group at ``cost``; a
+    #: tuple of positive multipliers models irregular workloads (CSR row
+    #: skew, data-dependent frontiers) where per-group cost varies by
+    #: orders of magnitude: a wave's simulated duration follows its most
+    #: expensive resident group (see ``repro.ocl.executor``)
+    group_weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self):
         names = [a.name for a in self.args]
@@ -185,6 +193,17 @@ class KernelSpec:
                 kernel=self.name, arg=duplicates[0],
                 hint="every ArgSpec in args must have a distinct name",
             ))
+        if self.group_weights is not None:
+            if len(self.group_weights) == 0:
+                raise ValueError(
+                    f"kernel {self.name!r}: group_weights must be a "
+                    f"non-empty tuple or None"
+                )
+            if any(not (0.0 < w < float("inf")) for w in self.group_weights):
+                raise ValueError(
+                    f"kernel {self.name!r}: group_weights must all be "
+                    f"positive finite multipliers"
+                )
 
     @property
     def buffer_args(self) -> Tuple[ArgSpec, ...]:

@@ -148,6 +148,17 @@ def run_kernel(
     variant = kernel.variant
     board = launch.status_board if variant.abort_checks else None
     t_wg = kernel.wg_seconds(spec)
+    # Irregular workloads attach per-group cost multipliers; a wave's
+    # duration then follows its most expensive resident group (the SIMT
+    # analogue: the wave retires when its slowest work-group does).  The
+    # ``weights is None`` fast path keeps the dense regime's float
+    # arithmetic bit-identical.
+    weights = kernel.spec.group_weights
+    if weights is not None and len(weights) != ndrange.total_groups:
+        raise ValueError(
+            f"kernel {kernel.spec.name!r} declares {len(weights)} group "
+            f"weights but the NDRange has {ndrange.total_groups} groups"
+        )
     result = KernelRunResult(start_time=engine.now)
 
     n_groups = end - start
@@ -170,9 +181,15 @@ def run_kernel(
         and board is None
         and n_groups < spec.compute_units
     ):
+        if weights is None:
+            work = n_groups * t_wg
+        else:
+            # Split groups run work-item-parallel, so total work (not the
+            # max) is what the compute units share.
+            work = sum(weights[start:end]) * t_wg
         duration = (
             spec.wave_overhead
-            + n_groups * t_wg / (spec.compute_units * spec.wg_split_efficiency)
+            + work / (spec.compute_units * spec.wg_split_efficiency)
         )
         yield engine.timeout(duration)
         result.executed.append((start, end))
@@ -202,9 +219,10 @@ def run_kernel(
         result.aborted_groups += i_next - j
 
         result.waves += 1
+        wave_t_wg = t_wg if weights is None else t_wg * max(weights[i:j])
         if board is not None and variant.abort_in_loops:
             commit_hi, whole_wave_aborted = yield from _monitored_wave(
-                engine, spec, board, t_wg, variant.abort_granularity, i, j
+                engine, spec, board, wave_t_wg, variant.abort_granularity, i, j
             )
             if commit_hi > i:
                 result.executed.append((i, commit_hi))
@@ -214,7 +232,7 @@ def run_kernel(
                 result.ended_early = True
                 break
         else:
-            yield engine.timeout(spec.wave_overhead + t_wg)
+            yield engine.timeout(spec.wave_overhead + wave_t_wg)
             result.executed.append((i, j))
         health.beat()
         i = i_next

@@ -23,6 +23,7 @@ from repro.polybench.syr2k import Syr2kApp
 from repro.polybench.syrk import SyrkApp
 from repro.polybench.threemm import ThreeMmApp
 from repro.polybench.twomm import TwoMmApp
+from repro.workloads.irregular import BfsApp, HistogramApp, ScanApp, SpmvApp
 
 __all__ = [
     "PAPER_SUITE",
@@ -39,16 +40,19 @@ SCALES: Dict[str, Dict[str, int]] = {
         "2mm": 1024, "bicg": 4096, "corr": 1536, "gesummv": 4096,
         "syrk": 768, "syr2k": 1024,
         "atax": 4096, "mvt": 4096, "gemm": 1024, "3mm": 768,
+        "spmv": 4096, "histogram": 32768, "bfs": 4096, "scan": 16384,
     },
     "small": {
         "2mm": 512, "bicg": 2048, "corr": 512, "gesummv": 2048,
         "syrk": 384, "syr2k": 512,
         "atax": 2048, "mvt": 2048, "gemm": 512, "3mm": 384,
+        "spmv": 2048, "histogram": 8192, "bfs": 1024, "scan": 4096,
     },
     "test": {
         "2mm": 128, "bicg": 256, "corr": 128, "gesummv": 256,
         "syrk": 128, "syr2k": 128,
         "atax": 256, "mvt": 256, "gemm": 128, "3mm": 128,
+        "spmv": 256, "histogram": 256, "bfs": 128, "scan": 256,
     },
 }
 
@@ -63,13 +67,21 @@ _FACTORIES: Dict[str, Callable[[int], PolybenchApp]] = {
     "mvt": MvtApp,
     "gemm": GemmApp,
     "3mm": ThreeMmApp,
+    "spmv": SpmvApp,
+    "histogram": HistogramApp,
+    "bfs": BfsApp,
+    "scan": ScanApp,
 }
 
 #: the six benchmarks evaluated in the paper, in figure order
 PAPER_SUITE: Tuple[str, ...] = ("2mm", "bicg", "corr", "gesummv", "syrk", "syr2k")
 
-#: paper suite plus the extension benchmarks
-EXTENDED_SUITE: Tuple[str, ...] = PAPER_SUITE + ("atax", "mvt", "gemm", "3mm")
+#: paper suite plus the extension benchmarks and the irregular-workload
+#: apps (appended last so existing fuzzer seed -> app mappings are stable)
+EXTENDED_SUITE: Tuple[str, ...] = PAPER_SUITE + (
+    "atax", "mvt", "gemm", "3mm",
+    "spmv", "histogram", "bfs", "scan",
+)
 
 
 def make_app(name: str, scale: str = "paper", size: Optional[int] = None,

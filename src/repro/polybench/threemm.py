@@ -2,7 +2,10 @@
 
 ``E = A*B; F = C*D; G = E*F`` — a longer kernel pipeline than 2MM, with a
 diamond dependency (G needs both E and F), stressing the buffer version
-tracker across more producer/consumer edges.
+tracker across more producer/consumer edges.  Expressed as a
+:class:`~repro.workloads.pipeline.PipelineApp`, which makes the diamond
+explicit: ``dependency_edges()`` reports both mm3_kernel1 → mm3_kernel3
+(via E) and mm3_kernel2 → mm3_kernel3 (via F).
 """
 
 from __future__ import annotations
@@ -13,9 +16,9 @@ import numpy as np
 
 from repro.kernels.dsl import Intent, KernelSpec, buffer_arg
 from repro.ocl.ndrange import NDRange
-from repro.ocl.runtime import AbstractRuntime
-from repro.polybench.common import DTYPE, KernelMeta, PolybenchApp
+from repro.polybench.common import DTYPE
 from repro.polybench.twomm import TILE, matmul_cost
+from repro.workloads.pipeline import BufferDecl, KernelStage, PipelineApp
 
 __all__ = ["ThreeMmApp"]
 
@@ -38,7 +41,7 @@ def mm_kernel(name: str, left: str, right: str, out: str, nk: int) -> KernelSpec
     )
 
 
-class ThreeMmApp(PolybenchApp):
+class ThreeMmApp(PipelineApp):
     """Polybench 3MM at size ``n`` (all matrices square)."""
 
     name = "3mm"
@@ -69,44 +72,34 @@ class ThreeMmApp(PolybenchApp):
     def _ndrange(self) -> NDRange:
         return NDRange((self.n, self.n), (TILE, TILE))
 
-    def kernel_metas(self) -> List[KernelMeta]:
-        nd = self._ndrange()
-        return [
-            KernelMeta("mm3_kernel1", nd),
-            KernelMeta("mm3_kernel2", nd),
-            KernelMeta("mm3_kernel3", nd),
-        ]
-
-    def kernel_specs(self) -> List[KernelSpec]:
+    # -- pipeline ----------------------------------------------------------------
+    def buffer_decls(self) -> List[BufferDecl]:
         n = self.n
-        return [
-            mm_kernel("mm3_kernel1", "A", "B", "E", n),
-            mm_kernel("mm3_kernel2", "C", "D", "F", n),
-            mm_kernel("mm3_kernel3", "E", "F", "G", n),
-        ]
-
-    def host_program(self, runtime: AbstractRuntime,
-                     inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        n = self.n
-        names = ("A", "B", "C", "D", "E", "F", "G")
-        buffers = {
-            name: runtime.create_buffer(name, (n, n), DTYPE) for name in names
-        }
+        decls = []
         for name in ("A", "B", "C", "D"):
-            runtime.enqueue_write_buffer(buffers[name], inputs[name])
+            decls.append(BufferDecl(name, (n, n), DTYPE, init=name))
+        decls.append(BufferDecl("E", (n, n), DTYPE))
+        decls.append(BufferDecl("F", (n, n), DTYPE))
+        decls.append(BufferDecl("G", (n, n), DTYPE, read="G"))
+        return decls
+
+    def stages(self) -> List[KernelStage]:
+        n = self.n
         nd = self._ndrange()
-        runtime.enqueue_nd_range_kernel(
-            mm_kernel("mm3_kernel1", "A", "B", "E", n), nd,
-            {"A": buffers["A"], "B": buffers["B"], "E": buffers["E"]},
-        )
-        runtime.enqueue_nd_range_kernel(
-            mm_kernel("mm3_kernel2", "C", "D", "F", n), nd,
-            {"C": buffers["C"], "D": buffers["D"], "F": buffers["F"]},
-        )
-        runtime.enqueue_nd_range_kernel(
-            mm_kernel("mm3_kernel3", "E", "F", "G", n), nd,
-            {"E": buffers["E"], "F": buffers["F"], "G": buffers["G"]},
-        )
-        out = np.empty((n, n), dtype=DTYPE)
-        runtime.enqueue_read_buffer(buffers["G"], out)
-        return {"G": out}
+        return [
+            KernelStage(
+                spec=mm_kernel("mm3_kernel1", "A", "B", "E", n),
+                ndrange=nd,
+                binds={"A": "A", "B": "B", "E": "E"},
+            ),
+            KernelStage(
+                spec=mm_kernel("mm3_kernel2", "C", "D", "F", n),
+                ndrange=nd,
+                binds={"C": "C", "D": "D", "F": "F"},
+            ),
+            KernelStage(
+                spec=mm_kernel("mm3_kernel3", "E", "F", "G", n),
+                ndrange=nd,
+                binds={"E": "E", "F": "F", "G": "G"},
+            ),
+        ]

@@ -6,6 +6,12 @@ GPU is ~4-6x faster and FluidiCL should effectively hand it the whole
 NDRange.  Calibration: GPU reaches 22% of peak FLOPs (a straightforward
 tiled SGEMM on Fermi), the CPU about 92% of its (much lower) peak through
 the AMD runtime's vectorizer.
+
+The host program is expressed as a :class:`~repro.workloads.pipeline.
+PipelineApp`: two kernel stages chained through the ``tmp`` buffer.  The
+generic pipeline executor replays the exact create/write/launch/read
+sequence the hand-written host program used to issue, so simulated
+schedules are unchanged.
 """
 
 from __future__ import annotations
@@ -17,8 +23,8 @@ import numpy as np
 from repro.hw.cost import WorkGroupCost
 from repro.kernels.dsl import Intent, KernelSpec, buffer_arg, scalar_arg
 from repro.ocl.ndrange import NDRange
-from repro.ocl.runtime import AbstractRuntime
-from repro.polybench.common import DTYPE, KernelMeta, PolybenchApp
+from repro.polybench.common import DTYPE
+from repro.workloads.pipeline import BufferDecl, KernelStage, PipelineApp
 
 __all__ = ["TwoMmApp", "TILE", "matmul_cost"]
 
@@ -87,7 +93,7 @@ def mm2_kernel(nj: int) -> KernelSpec:
     )
 
 
-class TwoMmApp(PolybenchApp):
+class TwoMmApp(PipelineApp):
     """Polybench 2MM at size ``n`` (all four matrices n x n)."""
 
     name = "2mm"
@@ -122,33 +128,30 @@ class TwoMmApp(PolybenchApp):
     def _ndrange(self) -> NDRange:
         return NDRange((self.n, self.n), (TILE, TILE))
 
-    def kernel_metas(self) -> List[KernelMeta]:
-        nd = self._ndrange()
-        return [KernelMeta("mm2_kernel1", nd), KernelMeta("mm2_kernel2", nd)]
-
-    def kernel_specs(self) -> List[KernelSpec]:
-        return [mm1_kernel(self.n), mm2_kernel(self.n)]
-
-    def host_program(self, runtime: AbstractRuntime,
-                     inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    # -- pipeline ----------------------------------------------------------------
+    def buffer_decls(self) -> List[BufferDecl]:
         n = self.n
-        buffers = {
-            name: runtime.create_buffer(name, (n, n), DTYPE)
-            for name in ("A", "B", "C", "D", "tmp")
-        }
-        for name in ("A", "B", "C", "D"):
-            runtime.enqueue_write_buffer(buffers[name], inputs[name])
+        return [
+            BufferDecl("A", (n, n), DTYPE, init="A"),
+            BufferDecl("B", (n, n), DTYPE, init="B"),
+            BufferDecl("C", (n, n), DTYPE, init="C"),
+            BufferDecl("D", (n, n), DTYPE, init="D", read="D"),
+            BufferDecl("tmp", (n, n), DTYPE),
+        ]
+
+    def stages(self) -> List[KernelStage]:
         nd = self._ndrange()
-        runtime.enqueue_nd_range_kernel(
-            mm1_kernel(n), nd,
-            {"A": buffers["A"], "B": buffers["B"], "tmp": buffers["tmp"],
-             "alpha": self.alpha},
-        )
-        runtime.enqueue_nd_range_kernel(
-            mm2_kernel(n), nd,
-            {"tmp": buffers["tmp"], "C": buffers["C"], "D": buffers["D"],
-             "beta": self.beta},
-        )
-        out = np.empty((n, n), dtype=DTYPE)
-        runtime.enqueue_read_buffer(buffers["D"], out)
-        return {"D": out}
+        return [
+            KernelStage(
+                spec=mm1_kernel(self.n),
+                ndrange=nd,
+                binds={"A": "A", "B": "B", "tmp": "tmp",
+                       "alpha": self.alpha},
+            ),
+            KernelStage(
+                spec=mm2_kernel(self.n),
+                ndrange=nd,
+                binds={"tmp": "tmp", "C": "C", "D": "D",
+                       "beta": self.beta},
+            ),
+        ]

@@ -1,0 +1,32 @@
+"""Irregular workloads and multi-kernel pipelines.
+
+Everything here runs on the same :class:`~repro.polybench.common.PolybenchApp`
+contract as the dense Table 2 suite, but breaks the property that suite
+silently relied on: uniform per-work-group cost and a statically known
+launch schedule.  See ``repro.workloads.irregular`` for the apps and
+``repro.workloads.pipeline`` for the pipeline abstraction.
+"""
+
+from repro.workloads.pipeline import (
+    BufferDecl,
+    HostStage,
+    KernelStage,
+    PipelineApp,
+    PipelineError,
+    PipelineHost,
+    WhileStage,
+    dependency_edges,
+    validate_pipeline,
+)
+
+__all__ = [
+    "BufferDecl",
+    "HostStage",
+    "KernelStage",
+    "PipelineApp",
+    "PipelineError",
+    "PipelineHost",
+    "WhileStage",
+    "dependency_edges",
+    "validate_pipeline",
+]

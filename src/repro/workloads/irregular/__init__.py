@@ -1,0 +1,23 @@
+"""Data-dependent apps: per-work-group cost varies, schedules are dynamic.
+
+Four shapes, each stressing a different assumption the dense suite never
+tested:
+
+* :class:`SpmvApp` — CSR sparse matrix-vector product with seeded
+  power-law row-length skew: per-work-group cost spans orders of
+  magnitude (attached as ``KernelSpec.group_weights``).
+* :class:`HistogramApp` — atomic-free privatized bins plus a reduction
+  merge kernel: a tiny second launch (few work-groups) on the tail of a
+  large one.
+* :class:`BfsApp` — frontier expansion with a data-dependent NDRange per
+  level and a loop-carried pipeline (``WhileStage``).
+* :class:`ScanApp` — multi-phase upsweep / block-offsets / downsweep
+  prefix scan with a host stage between kernels.
+"""
+
+from repro.workloads.irregular.bfs import BfsApp
+from repro.workloads.irregular.histogram import HistogramApp
+from repro.workloads.irregular.scan import ScanApp
+from repro.workloads.irregular.spmv import SpmvApp
+
+__all__ = ["SpmvApp", "HistogramApp", "BfsApp", "ScanApp"]

@@ -1,0 +1,159 @@
+"""Histogram: atomic-free privatized bins + a reduction merge kernel.
+
+The OpenCL idiom for histograms without atomics: every work-group counts
+its slice of the input into a private row of bins (kernel 1), then a
+second, much smaller kernel reduces the per-group rows column-wise into
+the final histogram.  The merge launch has only ``BINS / BINS_PER_GROUP``
+work-groups — a tiny tail launch that stresses the cooperative runtime's
+small-NDRange paths (chunker rounding, front ledger windows of a handful
+of groups).
+
+Counts are small integers stored in float32, so every result is exact and
+cooperative vs. single-device comparisons can demand bitwise equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hw.cost import WorkGroupCost
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import AbstractRuntime
+from repro.polybench.common import DTYPE, KernelMeta, PolybenchApp
+
+__all__ = ["HistogramApp", "hist_partial_kernel", "hist_merge_kernel",
+           "BINS", "ITEMS_PER_GROUP", "BINS_PER_GROUP"]
+
+#: histogram bins over the [0, 1) value range
+BINS = 128
+#: input items counted by one work-group of the privatization kernel
+ITEMS_PER_GROUP = 32
+#: bins reduced by one work-group of the merge kernel
+BINS_PER_GROUP = 32
+
+
+def _hist_partial_body(ctx) -> None:
+    g = ctx.group_id[0]
+    lo, hi = ctx.item_range(0)
+    idx = np.minimum((ctx["data"][lo:hi] * BINS).astype(np.int64), BINS - 1)
+    ctx["part"][g, :] = np.bincount(idx, minlength=BINS).astype(DTYPE)
+
+
+def _hist_merge_body(ctx) -> None:
+    rows = ctx.rows()
+    ctx["hist"][rows] = ctx["part"][:, rows].sum(axis=0)
+
+
+def hist_partial_kernel(n: int) -> KernelSpec:
+    itemsize = np.dtype(DTYPE).itemsize
+    return KernelSpec(
+        name="hist_partial",
+        args=(buffer_arg("data"), buffer_arg("part", Intent.OUT)),
+        body=_hist_partial_body,
+        cost=WorkGroupCost(
+            flops=2.0 * ITEMS_PER_GROUP,
+            bytes_read=ITEMS_PER_GROUP * itemsize,
+            bytes_written=BINS * itemsize,
+            loop_iters=4,
+            compute_efficiency={"cpu": 0.80, "gpu": 0.45},
+            memory_efficiency={"cpu": 0.35, "gpu": 0.30},
+        ),
+    )
+
+
+def hist_merge_kernel(n: int) -> KernelSpec:
+    itemsize = np.dtype(DTYPE).itemsize
+    groups = n // ITEMS_PER_GROUP
+    return KernelSpec(
+        name="hist_merge",
+        args=(buffer_arg("part"), buffer_arg("hist", Intent.OUT)),
+        body=_hist_merge_body,
+        cost=WorkGroupCost(
+            flops=1.0 * BINS_PER_GROUP * groups,
+            bytes_read=BINS_PER_GROUP * groups * itemsize,
+            bytes_written=BINS_PER_GROUP * itemsize,
+            loop_iters=8,
+            compute_efficiency={"cpu": 0.80, "gpu": 0.40},
+            # column-strided walk over the partials: CPU caches cope better
+            memory_efficiency={"cpu": 0.30, "gpu": 0.10},
+        ),
+    )
+
+
+class HistogramApp(PolybenchApp):
+    """Histogram of ``n`` uniform [0, 1) samples into ``BINS`` bins."""
+
+    name = "histogram"
+
+    def __init__(self, n: int = 32768, seed: int = 7):
+        super().__init__(seed)
+        if n % ITEMS_PER_GROUP != 0:
+            raise ValueError(f"n must be a multiple of {ITEMS_PER_GROUP}")
+        self.n = n
+
+    @property
+    def input_size_label(self) -> str:
+        return f"({self.n},) -> {BINS} bins"
+
+    def build_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"data": rng.random(self.n).astype(DTYPE)}
+
+    def _bin_indices(self, data: np.ndarray) -> np.ndarray:
+        return np.minimum((data * BINS).astype(np.int64), BINS - 1)
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        idx = self._bin_indices(inputs["data"])
+        hist = np.bincount(idx, minlength=BINS).astype(np.float64)
+        return {"hist": hist}
+
+    def exact_reference(self,
+                        inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Bit-exact float32 mimic: per-group bincounts, column-block sums."""
+        groups = self.n // ITEMS_PER_GROUP
+        part = np.empty((groups, BINS), dtype=DTYPE)
+        for g in range(groups):
+            block = inputs["data"][g * ITEMS_PER_GROUP:(g + 1) * ITEMS_PER_GROUP]
+            part[g, :] = np.bincount(
+                self._bin_indices(block), minlength=BINS
+            ).astype(DTYPE)
+        hist = np.empty(BINS, dtype=DTYPE)
+        for b in range(BINS // BINS_PER_GROUP):
+            cols = slice(b * BINS_PER_GROUP, (b + 1) * BINS_PER_GROUP)
+            hist[cols] = part[:, cols].sum(axis=0)
+        return {"hist": hist}
+
+    def _ndranges(self) -> Dict[str, NDRange]:
+        return {
+            "hist_partial": NDRange(self.n, ITEMS_PER_GROUP),
+            "hist_merge": NDRange(BINS, BINS_PER_GROUP),
+        }
+
+    def kernel_metas(self) -> List[KernelMeta]:
+        return [KernelMeta(name, nd) for name, nd in self._ndranges().items()]
+
+    def kernel_specs(self) -> List[KernelSpec]:
+        return [hist_partial_kernel(self.n), hist_merge_kernel(self.n)]
+
+    def host_program(self, runtime: AbstractRuntime,
+                     inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        n = self.n
+        groups = n // ITEMS_PER_GROUP
+        buf_data = runtime.create_buffer("data", (n,), DTYPE)
+        buf_part = runtime.create_buffer("part", (groups, BINS), DTYPE)
+        buf_hist = runtime.create_buffer("hist", (BINS,), DTYPE)
+        runtime.enqueue_write_buffer(buf_data, inputs["data"])
+        ranges = self._ndranges()
+        runtime.enqueue_nd_range_kernel(
+            hist_partial_kernel(n), ranges["hist_partial"],
+            {"data": buf_data, "part": buf_part},
+        )
+        runtime.enqueue_nd_range_kernel(
+            hist_merge_kernel(n), ranges["hist_merge"],
+            {"part": buf_part, "hist": buf_hist},
+        )
+        hist = np.empty(BINS, dtype=DTYPE)
+        runtime.enqueue_read_buffer(buf_hist, hist)
+        return {"hist": hist}

@@ -1,0 +1,167 @@
+"""Prefix scan: upsweep / host block-offset scan / downsweep.
+
+The classic three-phase exclusive-block scan: every work-group computes
+an inclusive scan of its block plus the block total (upsweep), the host
+scans the block totals into per-block offsets, and the downsweep adds
+each block's offset back in.  Expressed as a
+:class:`~repro.workloads.pipeline.PipelineApp` with a
+:class:`~repro.workloads.pipeline.HostStage` between the two kernels —
+the dependency structure 2mm/3mm don't have.
+
+Both kernels do strictly sequential per-block float32 arithmetic, so
+cooperative, single-device and the float32 NumPy mimic agree bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hw.cost import WorkGroupCost
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg
+from repro.ocl.ndrange import NDRange
+from repro.polybench.common import DTYPE
+from repro.workloads.pipeline import (
+    BufferDecl,
+    HostStage,
+    KernelStage,
+    PipelineApp,
+)
+
+__all__ = ["ScanApp", "scan_upsweep_kernel", "scan_downsweep_kernel", "BLOCK"]
+
+#: elements scanned by one work-group
+BLOCK = 32
+
+
+def _scan_upsweep_body(ctx) -> None:
+    rows = ctx.rows()
+    g = ctx.group_id[0]
+    block = np.cumsum(ctx["x"][rows], dtype=DTYPE)
+    ctx["partial"][rows] = block
+    ctx["sums"][g] = block[-1]
+
+
+def _scan_downsweep_body(ctx) -> None:
+    rows = ctx.rows()
+    g = ctx.group_id[0]
+    ctx["y"][rows] = ctx["partial"][rows] + ctx["offsets"][g]
+
+
+def _exclusive_scan(sums: np.ndarray) -> np.ndarray:
+    """Float32 exclusive scan of the block sums (host stage + oracle)."""
+    offsets = np.zeros(sums.shape[0], dtype=DTYPE)
+    if sums.shape[0] > 1:
+        offsets[1:] = np.cumsum(sums[:-1], dtype=DTYPE)
+    return offsets
+
+
+def scan_upsweep_kernel(n: int) -> KernelSpec:
+    itemsize = np.dtype(DTYPE).itemsize
+    return KernelSpec(
+        name="scan_upsweep",
+        args=(
+            buffer_arg("x"),
+            buffer_arg("partial", Intent.OUT),
+            buffer_arg("sums", Intent.OUT),
+        ),
+        body=_scan_upsweep_body,
+        cost=WorkGroupCost(
+            flops=1.0 * BLOCK,
+            bytes_read=BLOCK * itemsize,
+            bytes_written=(BLOCK + 1) * itemsize,
+            loop_iters=8,
+            compute_efficiency={"cpu": 0.85, "gpu": 0.40},
+            memory_efficiency={"cpu": 0.40, "gpu": 0.35},
+        ),
+    )
+
+
+def scan_downsweep_kernel(n: int) -> KernelSpec:
+    itemsize = np.dtype(DTYPE).itemsize
+    return KernelSpec(
+        name="scan_downsweep",
+        args=(
+            buffer_arg("partial"),
+            buffer_arg("offsets"),
+            buffer_arg("y", Intent.OUT),
+        ),
+        body=_scan_downsweep_body,
+        cost=WorkGroupCost(
+            flops=1.0 * BLOCK,
+            bytes_read=(BLOCK + 1) * itemsize,
+            bytes_written=BLOCK * itemsize,
+            loop_iters=4,
+            compute_efficiency={"cpu": 0.85, "gpu": 0.50},
+            memory_efficiency={"cpu": 0.40, "gpu": 0.40},
+        ),
+    )
+
+
+class ScanApp(PipelineApp):
+    """Inclusive prefix scan of ``n`` positive float32 values."""
+
+    name = "scan"
+
+    def __init__(self, n: int = 16384, seed: int = 7):
+        super().__init__(seed)
+        if n % BLOCK != 0:
+            raise ValueError(f"n must be a multiple of {BLOCK}")
+        self.n = n
+        self.blocks = n // BLOCK
+
+    @property
+    def input_size_label(self) -> str:
+        return f"({self.n},)"
+
+    def build_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"x": rng.random(self.n).astype(DTYPE)}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"y": np.cumsum(inputs["x"].astype(np.float64))}
+
+    def exact_reference(self,
+                        inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Bit-exact float32 mimic of upsweep + offsets + downsweep."""
+        part = np.cumsum(
+            inputs["x"].reshape(self.blocks, BLOCK), axis=1, dtype=DTYPE
+        )
+        offsets = _exclusive_scan(np.ascontiguousarray(part[:, -1]))
+        return {"y": (part + offsets[:, None]).reshape(self.n)}
+
+    # -- pipeline ----------------------------------------------------------------
+    def buffer_decls(self) -> List[BufferDecl]:
+        n = self.n
+        return [
+            BufferDecl("x", (n,), DTYPE, init="x"),
+            BufferDecl("partial", (n,), DTYPE),
+            BufferDecl("sums", (self.blocks,), DTYPE),
+            BufferDecl("offsets", (self.blocks,), DTYPE),
+            BufferDecl("y", (n,), DTYPE, read="y"),
+        ]
+
+    def _block_offsets(self, host, state) -> None:
+        sums = host.read("sums")
+        host.write("offsets", _exclusive_scan(sums))
+
+    def stages(self):
+        nd = NDRange(self.n, BLOCK)
+        return [
+            KernelStage(
+                spec=scan_upsweep_kernel(self.n),
+                ndrange=nd,
+                binds={"x": "x", "partial": "partial", "sums": "sums"},
+            ),
+            HostStage(
+                name="scan_offsets",
+                fn=self._block_offsets,
+                reads=("sums",),
+                writes=("offsets",),
+            ),
+            KernelStage(
+                spec=scan_downsweep_kernel(self.n),
+                ndrange=nd,
+                binds={"partial": "partial", "offsets": "offsets", "y": "y"},
+            ),
+        ]

@@ -1,0 +1,62 @@
+"""The fuzzer axis over irregular apps, and shrinker app attribution.
+
+When a failure only reproduces on an irregular app, the greedy shrinker's
+"swap to gesummv" candidate must be rejected and the minimal reproducer
+must still name the irregular app.
+"""
+
+from repro.check.fuzzer import CheckResult, FuzzConfig, ScheduleFuzzer
+from repro.check.shrink import reproducer_source, shrink
+from repro.polybench.suite import EXTENDED_SUITE
+
+IRREGULAR = ("spmv", "histogram", "bfs", "scan")
+
+
+class TestFuzzerDrawsIrregularApps:
+    def test_round_robin_covers_all_four(self):
+        fuzzer = ScheduleFuzzer(apps=IRREGULAR)
+        drawn = [fuzzer.config(seed).app for seed in range(8)]
+        assert drawn == list(IRREGULAR) * 2
+
+    def test_drawn_sizes_are_valid_for_every_app(self):
+        fuzzer = ScheduleFuzzer(apps=IRREGULAR)
+        for seed in range(40):
+            config = fuzzer.config(seed)
+            assert config.size >= 64
+            assert config.size % 32 == 0
+
+    def test_full_suite_reaches_irregular_apps(self):
+        fuzzer = ScheduleFuzzer()
+        drawn = {fuzzer.config(seed).app
+                 for seed in range(len(EXTENDED_SUITE))}
+        assert set(IRREGULAR) <= drawn
+
+
+class TestShrinkerNamesIrregularApp:
+    def _fail_only_on(self, app_name):
+        def run_fn(config):
+            if config.app == app_name:
+                return CheckResult(config=config, outcome="error",
+                                   error="merge mismatch")
+            return CheckResult(config=config, outcome="ok", correct=True)
+        return run_fn
+
+    def test_app_swap_is_rejected_and_reproducer_names_app(self):
+        config = FuzzConfig(seed=77, app="spmv", size=256, jitter_seed=5,
+                            machine="cpu+2gpu")
+        run_fn = self._fail_only_on("spmv")
+        shrunk = shrink(config, run_fn=run_fn, baseline=run_fn(config))
+        assert shrunk.minimal.app == "spmv"
+        assert shrunk.minimal.jitter_seed is None       # noise was dropped
+        assert shrunk.minimal.machine == "default"
+        source = reproducer_source(shrunk)
+        assert "app='spmv'" in source
+        assert "def test_fluidicl_check_seed_77" in source
+
+    def test_every_irregular_app_survives_shrinking(self):
+        for app_name in IRREGULAR:
+            config = FuzzConfig(seed=5, app=app_name, size=256)
+            run_fn = self._fail_only_on(app_name)
+            shrunk = shrink(config, run_fn=run_fn, baseline=run_fn(config))
+            assert shrunk.minimal.app == app_name
+            assert f"app='{app_name}'" in reproducer_source(shrunk)

@@ -1,0 +1,139 @@
+"""AdaptiveChunker properties under skewed per-chunk cost (§5.1).
+
+The irregular workloads hand the chunker a world the paper's dense
+benchmarks never produce: per-work-group cost varying by orders of
+magnitude.  Whatever the cost sequence does, the chunker must (a) always
+return a usable allocation — at least one CU-multiple, never 0, never
+more than remaining — (b) terminate the drain loop, and (c) converge:
+once the observed average stops improving, the chunk settles permanently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import AdaptiveChunker
+
+
+def drain(chunker, per_group_cost, total):
+    """Drain ``total`` groups, feeding back skewed observed durations.
+
+    Returns the (chunk, settled_flag) history; asserts the universal
+    allocation invariants on every iteration.
+    """
+    remaining = total
+    cursor = 0
+    history = []
+    while remaining:
+        chunk = chunker.next_chunk(remaining)
+        assert chunk >= 1, "allocation must never be zero"
+        assert chunk <= remaining
+        assert chunk % chunker.compute_units == 0 or chunk == remaining, (
+            "non-final allocations are rounded to compute-unit multiples")
+        elapsed = float(np.sum(per_group_cost[cursor:cursor + chunk]))
+        chunker.observe(chunk, elapsed)
+        history.append((chunk, chunker.still_growing))
+        cursor += chunk
+        remaining -= chunk
+    return history
+
+
+def assert_settles_permanently(history):
+    """Once still_growing flips off, the allocation never changes again
+    (except the final remainder-capped chunk)."""
+    flips = [i for i, (_c, growing) in enumerate(history) if not growing]
+    if not flips:
+        return
+    settled_at = flips[0]
+    assert all(not growing for _c, growing in history[settled_at:])
+    steady = [c for c, _g in history[settled_at + 1:-1]]
+    assert len(set(steady)) <= 1, (
+        f"allocation kept moving after growth stopped: {steady}")
+
+
+class TestPowerLawSkew:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_drain_terminates_with_valid_allocations(self, seed):
+        rng = np.random.default_rng(seed)
+        total = 1024
+        cost = 1e-6 * (1.0 + rng.pareto(1.3, total) * 16.0)
+        chunker = AdaptiveChunker(total, compute_units=8)
+        history = drain(chunker, cost, total)
+        assert sum(c for c, _g in history) == total
+        assert chunker.chunk <= total
+        assert_settles_permanently(history)
+
+    def test_heavy_head_stops_growth(self):
+        # the first chunks hit pathologically expensive groups, later ones
+        # are cheap: averages *improve*, so growth continues — then a
+        # second expensive band flattens the curve and growth must stop
+        total = 512
+        cost = np.full(total, 1e-6)
+        cost[:64] = 1e-3
+        cost[256:320] = 5e-3
+        chunker = AdaptiveChunker(total, compute_units=8)
+        history = drain(chunker, cost, total)
+        assert not chunker.still_growing
+        assert_settles_permanently(history)
+
+
+class TestBimodalSkew:
+    @pytest.mark.parametrize("period", (2, 8, 32))
+    def test_alternating_bands(self, period):
+        total = 1024
+        cost = np.where(
+            (np.arange(total) // period) % 2 == 0, 1e-6, 5e-4)
+        chunker = AdaptiveChunker(total, compute_units=8)
+        history = drain(chunker, cost, total)
+        assert sum(c for c, _g in history) == total
+        assert_settles_permanently(history)
+
+
+class TestAdversarialAlternating:
+    def test_improve_then_regress_settles_at_first_regression(self):
+        chunker = AdaptiveChunker(1000, compute_units=4,
+                                  initial_fraction=0.1, step_fraction=0.1)
+        first = chunker.chunk
+        chunker.observe(100, 100 * 1e-6)   # first sample: always grows
+        grown = chunker.chunk
+        assert grown == first + chunker.step
+        chunker.observe(200, 200 * 2e-6)   # regression: must settle
+        assert not chunker.still_growing
+        settled = chunker.chunk
+        # ... and stay settled even if the average improves again
+        chunker.observe(200, 200 * 1e-8)
+        chunker.observe(200, 200 * 1e-9)
+        assert chunker.chunk == settled
+        assert not chunker.still_growing
+
+    def test_exactly_epsilon_improvement_settles(self):
+        chunker = AdaptiveChunker(1000, compute_units=4)
+        chunker.observe(100, 100.0)
+        base = chunker._previous_avg
+        chunker.observe(100, 100 * base * 0.98)  # exactly epsilon: settle
+        assert not chunker.still_growing
+
+
+class TestAllocationBounds:
+    def test_allocation_is_cu_floor_and_cu_rounded(self):
+        chunker = AdaptiveChunker(1000, compute_units=7,
+                                  initial_fraction=0.001)
+        assert chunker.next_chunk(1000) == 7            # CU floor
+        chunker.chunk = 15
+        assert chunker.next_chunk(1000) == 21           # rounded up to CU
+        assert chunker.next_chunk(10) == 10             # capped by remaining
+
+    def test_chunk_never_exceeds_total_groups(self):
+        chunker = AdaptiveChunker(64, compute_units=4, step_fraction=0.9)
+        for _ in range(50):
+            chunker.observe(4, 1e-9 / (chunker.chunk + 1))
+        assert chunker.chunk <= 64
+
+    def test_zero_step_disables_growth_under_skew(self):
+        rng = np.random.default_rng(3)
+        total = 256
+        cost = 1e-6 * (1.0 + rng.pareto(1.3, total) * 16.0)
+        chunker = AdaptiveChunker(total, compute_units=8, step_fraction=0.0)
+        first = chunker.chunk
+        drain(chunker, cost, total)
+        assert chunker.chunk == first
+        assert not chunker.still_growing

@@ -106,6 +106,40 @@ class TestNDeviceFrontLoss:
             == ["Tesla C2070"]
 
 
+class TestIrregularFrontLoss:
+    """cpu+2gpu kill matrix over the irregular apps.
+
+    Stronger than the rtol checks above: SpMV and scan do all their
+    float32 reductions privately per work-group, so whichever front dies,
+    the merged survivor result must match the pure-NumPy float32 kernel
+    mimic **bit for bit** — a wrong merge of even one landed window shows
+    up as a byte diff, not as a tolerance-sized blur.
+    """
+
+    NAMES = ("Tesla C2070", "Tesla C2070 #2", "Xeon W3550")
+
+    @pytest.mark.parametrize("victim", NAMES)
+    @pytest.mark.parametrize("app_name", ("spmv", "scan"))
+    def test_survivors_merge_bitwise(self, app_name, victim):
+        at = midrun_strike(app_name, preset="cpu+2gpu")
+        machine = build_machine(preset="cpu+2gpu", trace=True)
+        runtime = FluidiCLRuntime(machine)
+        install_faults(runtime, FaultSchedule.single(
+            FaultKind.DEVICE_LOSS, at=at, device=victim))
+        app = make_app(app_name, "test")
+        inputs = app.fresh_inputs()
+        outputs = app.host_program(runtime, inputs)
+        runtime.finish()
+        runtime.drain()
+        lost = [f.name for f in runtime.device_set.fronts if f.lost]
+        assert lost == [victim]
+        assert len(runtime.device_set.survivors()) == 2
+        for key, want in app.exact_reference(inputs).items():
+            assert outputs[key].tobytes() == want.tobytes(), (
+                f"{app_name}: output {key!r} not bit-identical after "
+                f"losing {victim}")
+
+
 class TestPerDeviceReadCounters:
     def test_reads_are_attributed_to_the_serving_device(self):
         machine = build_machine(preset="cpu+2gpu")

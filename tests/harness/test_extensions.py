@@ -67,7 +67,9 @@ class TestExtensionExperiments:
 
     def test_extended_overall_small(self):
         result = extended_overall("test")
-        assert [row[0] for row in result.rows] == ["atax", "mvt", "gemm", "3mm"]
+        assert [row[0] for row in result.rows] == [
+            "atax", "mvt", "gemm", "3mm", "spmv", "histogram", "bfs", "scan",
+        ]
 
     def test_phi_what_if_runs_and_is_correct(self):
         result = what_if_xeon_phi(scale="test", benchmarks=("syrk",))

@@ -1,0 +1,71 @@
+"""The named-scenario runner: registry sanity, listing, runs, traces."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.__main__ import main
+from repro.harness.scenarios_cli import SCENARIOS, scenarios_main
+from repro.hw.machine import MACHINE_PRESETS
+from repro.polybench.suite import EXTENDED_SUITE
+
+IRREGULAR = ("spmv", "histogram", "bfs", "scan")
+
+
+class TestRegistry:
+    def test_every_scenario_targets_a_registered_app(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.config.app in EXTENDED_SUITE
+
+    def test_machines_are_known_presets(self):
+        for scenario in SCENARIOS.values():
+            machine = scenario.config.machine
+            assert machine == "default" or machine in MACHINE_PRESETS
+
+    def test_every_irregular_app_has_a_scenario(self):
+        apps = {s.config.app for s in SCENARIOS.values()}
+        assert set(IRREGULAR) <= apps
+
+    def test_fault_axis_is_exercised(self):
+        kinds = {f.kind for s in SCENARIOS.values() for f in s.config.faults}
+        assert len(kinds) >= 3, "scenarios should span the fault taxonomy"
+
+    def test_descriptions_and_seeds_are_distinct(self):
+        seeds = [s.config.seed for s in SCENARIOS.values()]
+        assert len(set(seeds)) == len(seeds)
+        assert all(s.description for s in SCENARIOS.values())
+
+
+class TestCli:
+    def test_list_prints_every_scenario(self, capsys):
+        assert scenarios_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert scenarios_main(["no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_single_run_passes_and_writes_trace(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        rc = scenarios_main(["scan-transfer-retry",
+                             "--trace-dir", trace_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scan-transfer-retry" in out and "0 failed" in out
+        trace_file = os.path.join(trace_dir, "scan-transfer-retry.trace.json")
+        assert os.path.exists(trace_file)
+        with open(trace_file, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"], "the trace artifact must not be empty"
+
+    def test_loss_scenario_degrades_gracefully(self, capsys):
+        rc = scenarios_main(["spmv-gpu-loss-cpu2gpu"])
+        assert rc == 0
+        assert "FAIL" not in capsys.readouterr().out
+
+    def test_main_dispatches_scenarios(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        assert "spmv-skew-default" in capsys.readouterr().out

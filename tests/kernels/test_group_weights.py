@@ -1,0 +1,96 @@
+"""Per-work-group cost weights (irregular-workload timing model).
+
+``KernelSpec.group_weights`` declares how expensive each flattened
+work-group is relative to the kernel's nominal per-group cost.  The
+executor must validate the declaration, time each dispatch wave by its
+slowest resident group, and — crucially — leave the weightless path
+byte-identical (the drift gates replay historical schedules).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.cost import WorkGroupCost
+from repro.hw.machine import build_machine
+from repro.hw.specs import DeviceKind
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg
+from repro.ocl.ndrange import NDRange
+from repro.ocl.runtime import SingleDeviceRuntime
+from repro.polybench.suite import make_app
+
+
+def _body(ctx):
+    lo, hi = ctx.item_range(0)
+    ctx["dst"][lo:hi] = ctx["src"][lo:hi] * 2.0
+
+
+def weighted_spec(weights):
+    return KernelSpec(
+        name="weighted_copy",
+        args=(buffer_arg("src"), buffer_arg("dst", Intent.OUT)),
+        body=_body,
+        cost=WorkGroupCost(flops=64.0, bytes_read=256, bytes_written=256),
+        group_weights=weights,
+    )
+
+
+def run_and_time(spec, n=256):
+    machine = build_machine()
+    runtime = SingleDeviceRuntime(machine, DeviceKind.GPU)
+    src = runtime.create_buffer("src", (n,), np.float32)
+    dst = runtime.create_buffer("dst", (n,), np.float32)
+    runtime.enqueue_write_buffer(src, np.ones(n, dtype=np.float32))
+    runtime.enqueue_nd_range_kernel(spec, NDRange(n, 32),
+                                    {"src": src, "dst": dst})
+    out = np.empty(n, dtype=np.float32)
+    runtime.enqueue_read_buffer(dst, out)
+    runtime.finish()
+    return machine.engine.now, out
+
+
+class TestSpecValidation:
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            weighted_spec(())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_spec((1.0, 0.0))
+
+    def test_infinite_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive finite"):
+            weighted_spec((1.0, float("inf")))
+
+    def test_with_version_carries_weights(self):
+        spec = weighted_spec((1.0, 2.0, 1.0, 4.0, 1.0, 1.0, 1.0, 1.0))
+        assert spec.with_version("alt", _body).group_weights \
+            == spec.group_weights
+
+
+class TestExecutorTiming:
+    def test_length_mismatch_raises(self):
+        spec = weighted_spec((1.0, 2.0))  # NDRange(256, 32) has 8 groups
+        with pytest.raises(ValueError, match="8 groups"):
+            run_and_time(spec)
+
+    def test_uniform_unit_weights_match_weightless(self):
+        base_t, base_out = run_and_time(weighted_spec(None))
+        unit_t, unit_out = run_and_time(weighted_spec((1.0,) * 8))
+        assert unit_t == base_t
+        assert unit_out.tobytes() == base_out.tobytes()
+
+    def test_heavy_groups_slow_the_wave(self):
+        base_t, _ = run_and_time(weighted_spec(None))
+        heavy_t, heavy_out = run_and_time(weighted_spec((1.0,) * 7 + (8.0,)))
+        assert heavy_t > base_t
+        # timing-only: numerics must not depend on weights
+        assert heavy_out.tobytes() == run_and_time(weighted_spec(None))[1].tobytes()
+
+    def test_spmv_declares_skewed_weights(self):
+        app = make_app("spmv", "test")
+        inputs = app.fresh_inputs()
+        weights = app.group_weights(inputs)
+        assert len(weights) == app.n // 8
+        assert all(w > 0 for w in weights)
+        assert max(weights) / min(weights) > 3.0, (
+            "the seeded CSR skew should span a wide per-group cost range")

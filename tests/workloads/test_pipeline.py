@@ -1,0 +1,209 @@
+"""Unit tests of the PipelineApp abstraction itself.
+
+Validation must reject inconsistent pipelines before any simulated work
+runs; ``dependency_edges`` must expose the declared producer → consumer
+graph; the :class:`PipelineHost` façade must hold host stages to their
+declared reads/writes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.cost import WorkGroupCost
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg, scalar_arg
+from repro.ocl.ndrange import NDRange
+from repro.polybench.suite import make_app
+from repro.workloads.pipeline import (
+    BufferDecl,
+    HostStage,
+    KernelStage,
+    PipelineError,
+    PipelineHost,
+    WhileStage,
+    dependency_edges,
+    validate_pipeline,
+)
+
+
+def _body(ctx):
+    lo, hi = ctx.item_range(0)
+    ctx["dst"][lo:hi] = ctx["src"][lo:hi]
+
+
+COST = WorkGroupCost(flops=64.0, bytes_read=256, bytes_written=256)
+
+
+def copy_spec(name="copy"):
+    return KernelSpec(
+        name=name,
+        args=(buffer_arg("src"), buffer_arg("dst", Intent.OUT)),
+        body=_body,
+        cost=COST,
+    )
+
+
+def decls():
+    return [
+        BufferDecl("a", (64,), np.float32, init="a"),
+        BufferDecl("b", (64,), np.float32),
+        BufferDecl("c", (64,), np.float32, read="c"),
+    ]
+
+
+ND = NDRange(64, 32)
+
+
+class TestValidation:
+    def test_valid_chain_passes(self):
+        validate_pipeline(decls(), [
+            KernelStage(copy_spec("k1"), ND, {"src": "a", "dst": "b"}),
+            KernelStage(copy_spec("k2"), ND, {"src": "b", "dst": "c"}),
+        ])
+
+    def test_duplicate_buffer_decls(self):
+        with pytest.raises(PipelineError, match="duplicate"):
+            validate_pipeline(decls() + [BufferDecl("a", (4,))], [])
+
+    def test_use_before_def(self):
+        with pytest.raises(PipelineError, match="before anything writes"):
+            validate_pipeline(decls(), [
+                KernelStage(copy_spec(), ND, {"src": "b", "dst": "c"}),
+            ])
+
+    def test_undeclared_buffer_read(self):
+        with pytest.raises(PipelineError, match="undeclared"):
+            validate_pipeline(decls(), [
+                KernelStage(copy_spec(), ND, {"src": "nope", "dst": "b"}),
+            ])
+
+    def test_unbound_argument(self):
+        with pytest.raises(PipelineError, match="unbound"):
+            validate_pipeline(decls(), [
+                KernelStage(copy_spec(), ND, {"src": "a"}),
+            ])
+
+    def test_unknown_bind(self):
+        with pytest.raises(PipelineError, match="unknown arguments"):
+            validate_pipeline(decls(), [
+                KernelStage(copy_spec(), ND,
+                            {"src": "a", "dst": "b", "bogus": "c"}),
+            ])
+
+    def test_buffer_arg_bound_to_non_name(self):
+        with pytest.raises(PipelineError, match="must be bound to a buffer"):
+            validate_pipeline(decls(), [
+                KernelStage(copy_spec(), ND, {"src": "a", "dst": 3.0}),
+            ])
+
+    def test_scalar_arg_bound_to_buffer_name(self):
+        spec = KernelSpec(
+            name="scaled",
+            args=(buffer_arg("src"), buffer_arg("dst", Intent.OUT),
+                  scalar_arg("alpha")),
+            body=_body,
+            cost=COST,
+        )
+        with pytest.raises(PipelineError, match="scalar argument"):
+            validate_pipeline(decls(), [
+                KernelStage(spec, ND, {"src": "a", "dst": "b", "alpha": "c"}),
+            ])
+
+    def test_never_written_output(self):
+        with pytest.raises(PipelineError, match="never"):
+            validate_pipeline(decls(), [
+                KernelStage(copy_spec(), ND, {"src": "a", "dst": "b"}),
+            ])
+
+    def test_host_stage_use_before_def(self):
+        with pytest.raises(PipelineError, match="before anything writes"):
+            validate_pipeline(decls(), [
+                HostStage("peek", lambda host, state: None, reads=("b",)),
+            ])
+
+    def test_loop_carried_write_is_defined_inside_loop(self):
+        # "b" is only written inside the loop body, yet the body's first
+        # stage may read it: the value comes from the previous iteration
+        # (iteration 1 reads what "k_init" wrote before the loop).
+        validate_pipeline(decls(), [
+            KernelStage(copy_spec("k_init"), ND, {"src": "a", "dst": "b"}),
+            WhileStage(
+                name="iterate",
+                cond=lambda state: False,
+                body=(
+                    KernelStage(copy_spec("k_step"), ND,
+                                {"src": "b", "dst": "c"}),
+                    KernelStage(copy_spec("k_back"), ND,
+                                {"src": "c", "dst": "b"}),
+                ),
+            ),
+            KernelStage(copy_spec("k_out"), ND, {"src": "b", "dst": "c"}),
+        ])
+
+
+class TestDependencyEdges:
+    def test_chain_edges(self):
+        edges = dependency_edges(decls(), [
+            KernelStage(copy_spec("k1"), ND, {"src": "a", "dst": "b"}),
+            KernelStage(copy_spec("k2"), ND, {"src": "b", "dst": "c"}),
+        ])
+        assert ("<host-init>", "a", "k1") in edges
+        assert ("k1", "b", "k2") in edges
+
+    def test_3mm_diamond(self):
+        app = make_app("3mm", "test")
+        edges = set(app.dependency_edges())
+        assert ("mm3_kernel1", "E", "mm3_kernel3") in edges
+        assert ("mm3_kernel2", "F", "mm3_kernel3") in edges
+
+    def test_scan_host_stage_edges(self):
+        app = make_app("scan", "test")
+        edges = set(app.dependency_edges())
+        assert ("scan_upsweep", "sums", "scan_offsets") in edges
+        assert ("scan_offsets", "offsets", "scan_downsweep") in edges
+
+    def test_bfs_loop_carried_frontier(self):
+        app = make_app("bfs", "test")
+        edges = set(app.dependency_edges())
+        # inside the level loop the frontier read points at the in-loop
+        # producer (the advance host stage), not at the host init
+        assert ("bfs_advance", "front", "bfs_expand") in edges
+        assert ("bfs_update", "nextf", "bfs_advance") in edges
+
+
+class TestPipelineHost:
+    def test_undeclared_read_rejected(self):
+        stage = HostStage("s", lambda host, state: None, reads=("sums",))
+        host = PipelineHost(None, {}, {}, stage)
+        with pytest.raises(PipelineError, match="without"):
+            host.read("offsets")
+
+    def test_undeclared_write_rejected(self):
+        stage = HostStage("s", lambda host, state: None, writes=("offsets",))
+        host = PipelineHost(None, {}, {}, stage)
+        with pytest.raises(PipelineError, match="without"):
+            host.write("sums", np.zeros(4))
+
+
+class TestAppDefaults:
+    def test_kernel_specs_deduplicate_loop_bodies(self):
+        app = make_app("bfs", "test")
+        names = [s.name for s in app.kernel_specs()]
+        assert names == ["bfs_expand", "bfs_update"]
+
+    def test_bfs_kernel_metas_follow_level_schedule(self):
+        app = make_app("bfs", "test")
+        metas = app.kernel_metas()
+        assert len(metas) >= 2 and len(metas) % 2 == 0
+        assert [m.name for m in metas[:2]] == ["bfs_expand", "bfs_update"]
+
+    def test_refactored_2mm_metas_unchanged(self):
+        app = make_app("2mm", "test")
+        assert [(m.name, m.ndrange.global_size) for m in app.kernel_metas()] \
+            == [("mm2_kernel1", (128, 128)), ("mm2_kernel2", (128, 128))]
+
+    def test_while_stage_iteration_cap(self):
+        app = make_app("2mm", "test")
+        runaway = WhileStage(name="spin", cond=lambda state: True, body=(),
+                             max_iterations=3)
+        with pytest.raises(PipelineError, match="exceeded 3 iterations"):
+            app._run_stages(None, {}, {}, {}, [runaway])
