@@ -46,6 +46,20 @@ __all__ = [
     "KNOWN_BAD_CASES",
     "KnownBadCase",
     "known_bad_case",
+    # pipeline analysis + sanitizer (lazy; imports the pipeline DSL back)
+    "HOST_PRODUCER",
+    "PipelineLintReport",
+    "analyze_pipeline",
+    "predicted_writers",
+    "PipelineFacts",
+    "StageFacts",
+    "flatten_pipeline",
+    "PipelineSanitizer",
+    "PipelineSanitizerError",
+    "SanitizerViolation",
+    "KNOWN_BAD_PIPELINES",
+    "KnownBadPipelineCase",
+    "known_bad_pipeline",
 ]
 
 _LAZY = {
@@ -58,6 +72,19 @@ _LAZY = {
     "KNOWN_BAD_CASES": "repro.analysis.known_bad",
     "KnownBadCase": "repro.analysis.known_bad",
     "known_bad_case": "repro.analysis.known_bad",
+    "HOST_PRODUCER": "repro.analysis.pipeline_analyzer",
+    "PipelineLintReport": "repro.analysis.pipeline_analyzer",
+    "analyze_pipeline": "repro.analysis.pipeline_analyzer",
+    "predicted_writers": "repro.analysis.pipeline_analyzer",
+    "PipelineFacts": "repro.analysis.pipeline_facts",
+    "StageFacts": "repro.analysis.pipeline_facts",
+    "flatten_pipeline": "repro.analysis.pipeline_facts",
+    "PipelineSanitizer": "repro.analysis.pipeline_sanitizer",
+    "PipelineSanitizerError": "repro.analysis.pipeline_sanitizer",
+    "SanitizerViolation": "repro.analysis.pipeline_sanitizer",
+    "KNOWN_BAD_PIPELINES": "repro.analysis.known_bad_pipelines",
+    "KnownBadPipelineCase": "repro.analysis.known_bad_pipelines",
+    "known_bad_pipeline": "repro.analysis.known_bad_pipelines",
 }
 
 

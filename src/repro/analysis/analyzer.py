@@ -39,18 +39,16 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.analysis.diagnostics import (
     Finding,
     LintReport,
-    Severity,
     SourceLocation,
     rule,
 )
 from repro.analysis.facts import (
-    AccessMode,
     AxisKind,
     BufferAccess,
     KernelFacts,
     extract_facts,
 )
-from repro.kernels.dsl import ArgSpec, KernelSpec, KernelVariant
+from repro.kernels.dsl import KernelSpec, KernelVariant
 
 __all__ = [
     "LONG_LOOP_ITERS",

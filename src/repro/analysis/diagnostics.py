@@ -116,6 +116,35 @@ RULES: Dict[str, Rule] = _registry(
          paper="§6.5"),
     Rule("FK303", "body contains an explicit loop but the cost model "
                   "declares loop_iters<=1", Severity.WARNING, paper="§5"),
+    # -- pipeline dataflow rules (FK4xx): inter-stage hazards --------------
+    Rule("FK401", "stale cross-stage read: a later stage reads a buffer "
+                  "whose last writer's declared intent does not cover the "
+                  "write", Severity.ERROR, paper="§4.1"),
+    Rule("FK402", "write-after-write between stages with no intervening "
+                  "reader: no dependency edge orders the writes",
+         Severity.WARNING, paper="§4.1"),
+    Rule("FK403", "loop-carried buffer written under a data-dependent "
+                  "NDRange but read at full extent", Severity.ERROR,
+         paper="§4/Fig. 7"),
+    Rule("FK404", "host stage blindly overwrites a buffer a kernel stage "
+                  "holds a live version of", Severity.WARNING, paper="§6.2"),
+    Rule("FK405", "group_weights length cannot match the stage's NDRange",
+         Severity.ERROR, paper="§5.1"),
+    Rule("FK410", "stage kernel body is not statically analyzable: "
+                  "pipeline dataflow rules degraded", Severity.INFO),
+    # -- partition-composition rules (FK5xx): cross-stage tile geometry ----
+    Rule("FK501", "transposed tile composition: consumer's access tile "
+                  "axis differs from the producer's write tile axis",
+         Severity.ERROR, paper="§4/Fig. 7"),
+    Rule("FK502", "tile rank mismatch: consumer recomposes the producer's "
+                  "partition at a different subscript rank",
+         Severity.WARNING, paper="§4/Fig. 7"),
+    # -- runtime sanitizer rules (FK59x): dynamic dataflow validation ------
+    Rule("FK591", "commit by a stage the static dataflow never predicted "
+                  "to write the buffer", Severity.ERROR, paper="§4.1"),
+    Rule("FK592", "buffer_read served a version produced by a writer the "
+                  "static dataflow never predicted", Severity.ERROR,
+         paper="§4.1"),
 )
 
 
@@ -146,6 +175,10 @@ class Finding:
     arg: Optional[str] = None
     location: Optional[SourceLocation] = None
     hint: Optional[str] = None
+    #: pipeline-level attribution (FK4xx/FK5xx): the stage a finding
+    #: anchors to and the inter-stage buffer it concerns
+    stage: Optional[str] = None
+    buffer: Optional[str] = None
 
     @property
     def rule(self) -> Rule:
@@ -160,6 +193,10 @@ class Finding:
         where = []
         if self.kernel:
             where.append(f"kernel {self.kernel!r}")
+        if self.stage and self.stage != self.kernel:
+            where.append(f"stage {self.stage!r}")
+        if self.buffer:
+            where.append(f"buffer {self.buffer!r}")
         if self.arg:
             where.append(f"arg {self.arg!r}")
         head = f"{self.rule_id} {self.severity.value}"
@@ -179,8 +216,12 @@ class Finding:
         """JSON-friendly representation (the ``lint --json`` output)."""
         return {
             "rule": self.rule_id,
+            "title": self.rule.title,
             "severity": self.severity.value,
+            "paper": self.rule.paper or None,
             "kernel": self.kernel,
+            "stage": self.stage,
+            "buffer": self.buffer,
             "arg": self.arg,
             "location": str(self.location) if self.location else None,
             "message": self.message,

@@ -1,0 +1,381 @@
+"""Deliberately broken *pipelines* exercising the FK4xx/FK5xx analyzer.
+
+The pipeline-level twin of :mod:`repro.analysis.known_bad`: each fixture
+is a small, structurally valid ``(decls, stages)`` pipeline — it passes
+``validate_pipeline`` — with exactly one planted inter-stage defect and
+the rule ID :func:`~repro.analysis.pipeline_analyzer.analyze_pipeline`
+must report for it.  ``python -m repro.harness lint --pipelines
+--known-bad`` (and the tier-1 tests) run every case and fail if any
+defect goes undetected or is misclassified.
+
+Kernel bodies are module-level functions (the facts extractor requires
+retrievable source) and use the same work-group context idiom as the
+shipped :class:`PipelineApp` suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.hw.cost import WorkGroupCost
+from repro.kernels.dsl import Intent, KernelSpec, buffer_arg
+from repro.ocl.ndrange import NDRange
+
+# see repro.analysis.pipeline_facts: repro.polybench must finish loading
+# before repro.workloads.pipeline is imported fresh (import cycle)
+import repro.polybench  # noqa: F401
+from repro.workloads.pipeline import (
+    BufferDecl,
+    HostStage,
+    KernelStage,
+    Stage,
+    WhileStage,
+)
+
+__all__ = [
+    "KnownBadPipelineCase",
+    "KNOWN_BAD_PIPELINES",
+    "known_bad_pipeline",
+]
+
+N, LOCAL = 64, 8
+_COST = WorkGroupCost(flops=1e6, bytes_read=1e4, bytes_written=1e4)
+_ND = NDRange(N, LOCAL)
+
+
+def _spec(name, args, body, group_weights=None) -> KernelSpec:
+    return KernelSpec(name=name, args=args, body=body, cost=_COST,
+                      group_weights=group_weights)
+
+
+# -- FK401: undeclared inter-stage write read downstream --------------------
+def _fk401_produce_body(ctx):
+    rows = ctx.rows()
+    ctx["tmp"][rows] = 2.0 * ctx["x"][rows]
+
+
+def _fk401_sneaky_body(ctx):
+    rows = ctx.rows()
+    ctx["z"][rows] = ctx["x"][rows] + 1.0
+    # tmp is bound with intent='in' below: an undeclared inter-stage WAW
+    ctx["tmp"][rows] = 0.5 * ctx["x"][rows]
+
+
+def _fk401_consume_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["tmp"][rows] + 1.0
+
+
+def undeclared_stage_write() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("x", (N,), init="x"),
+        BufferDecl("tmp", (N,)),
+        BufferDecl("z", (N,)),
+        BufferDecl("y", (N,), read="y"),
+    )
+    stages = (
+        KernelStage(
+            _spec("kp_produce",
+                  (buffer_arg("x"), buffer_arg("tmp", Intent.OUT)),
+                  _fk401_produce_body),
+            _ND, binds={"x": "x", "tmp": "tmp"}),
+        KernelStage(
+            _spec("kp_sneaky",
+                  (buffer_arg("x"), buffer_arg("tmp"),  # should be OUT
+                   buffer_arg("z", Intent.OUT)),
+                  _fk401_sneaky_body),
+            _ND, binds={"x": "x", "tmp": "tmp", "z": "z"}),
+        KernelStage(
+            _spec("kp_consume",
+                  (buffer_arg("tmp"), buffer_arg("y", Intent.OUT)),
+                  _fk401_consume_body),
+            _ND, binds={"tmp": "tmp", "y": "y"}),
+    )
+    return decls, stages
+
+
+# -- FK402: write-after-write with no intervening reader --------------------
+def _fk402_first_body(ctx):
+    rows = ctx.rows()
+    ctx["t"][rows] = 2.0 * ctx["x"][rows]
+
+
+def _fk402_second_body(ctx):
+    rows = ctx.rows()
+    ctx["t"][rows] = 3.0 * ctx["x"][rows]
+
+
+def _fk402_out_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["t"][rows]
+
+
+def unordered_waw() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("x", (N,), init="x"),
+        BufferDecl("t", (N,)),
+        BufferDecl("y", (N,), read="y"),
+    )
+    stages = (
+        KernelStage(
+            _spec("kp_first",
+                  (buffer_arg("x"), buffer_arg("t", Intent.OUT)),
+                  _fk402_first_body),
+            _ND, binds={"x": "x", "t": "t"}),
+        # overwrites t without reading it; nothing read kp_first's value
+        KernelStage(
+            _spec("kp_second",
+                  (buffer_arg("x"), buffer_arg("t", Intent.OUT)),
+                  _fk402_second_body),
+            _ND, binds={"x": "x", "t": "t"}),
+        KernelStage(
+            _spec("kp_out",
+                  (buffer_arg("t"), buffer_arg("y", Intent.OUT)),
+                  _fk402_out_body),
+            _ND, binds={"t": "t", "y": "y"}),
+    )
+    return decls, stages
+
+
+# -- FK403: shrinking data-dependent NDRange vs. full-extent read -----------
+def _fk403_write_body(ctx):
+    rows = ctx.rows()
+    ctx["buf"][rows] = 2.0 * ctx["front"][rows]
+
+
+def _fk403_read_body(ctx):
+    rows = ctx.rows()
+    # whole-variable read: covers elements beyond the shrunken range
+    ctx["y"][rows] += ctx["buf"].sum()
+
+
+def shrinking_extent() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("front", (N,), init="front"),
+        BufferDecl("buf", (N,)),
+        BufferDecl("y", (N,), read="y"),
+    )
+    stages = (
+        WhileStage(
+            "shrink",
+            cond=lambda state: state.get("n", 0) > 0,
+            body=(
+                KernelStage(
+                    _spec("kp_shrink_write",
+                          (buffer_arg("front"),
+                           buffer_arg("buf", Intent.OUT)),
+                          _fk403_write_body),
+                    # data-dependent launch geometry: the range shrinks
+                    lambda state: NDRange(state["n"], LOCAL),
+                    binds={"front": "front", "buf": "buf"}),
+                KernelStage(
+                    _spec("kp_full_read",
+                          (buffer_arg("buf"),
+                           buffer_arg("y", Intent.INOUT)),
+                          _fk403_read_body),
+                    _ND, binds={"buf": "buf", "y": "y"}),
+            ),
+        ),
+    )
+    return decls, stages
+
+
+# -- FK404: host stage blindly overwrites a kernel-produced buffer ----------
+def _fk404_partial_body(ctx):
+    rows = ctx.rows()
+    ctx["s"][rows] = 2.0 * ctx["x"][rows]
+
+
+def _fk404_peek_body(ctx):
+    rows = ctx.rows()
+    ctx["z"][rows] = ctx["s"][rows] + 1.0
+
+
+def _fk404_use_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = ctx["s"][rows] * 3.0
+
+
+def _fk404_clobber(host, state):  # pragma: no cover - never executed
+    import numpy as np
+
+    host.write("s", np.zeros(N, dtype=np.float32))
+
+
+def host_clobber() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("x", (N,), init="x"),
+        BufferDecl("s", (N,)),
+        BufferDecl("z", (N,)),
+        BufferDecl("y", (N,), read="y"),
+    )
+    stages = (
+        KernelStage(
+            _spec("kp_partial",
+                  (buffer_arg("x"), buffer_arg("s", Intent.OUT)),
+                  _fk404_partial_body),
+            _ND, binds={"x": "x", "s": "s"}),
+        # an intervening reader, so only the blind host clobber is planted
+        KernelStage(
+            _spec("kp_peek",
+                  (buffer_arg("s"), buffer_arg("z", Intent.OUT)),
+                  _fk404_peek_body),
+            _ND, binds={"s": "s", "z": "z"}),
+        HostStage("hp_clobber", _fk404_clobber, reads=(), writes=("s",)),
+        KernelStage(
+            _spec("kp_use",
+                  (buffer_arg("s"), buffer_arg("y", Intent.OUT)),
+                  _fk404_use_body),
+            _ND, binds={"s": "s", "y": "y"}),
+    )
+    return decls, stages
+
+
+# -- FK405: group_weights length vs. NDRange --------------------------------
+def _fk405_body(ctx):
+    rows = ctx.rows()
+    ctx["y"][rows] = 2.0 * ctx["x"][rows]
+
+
+def weights_mismatch() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("x", (N,), init="x"),
+        BufferDecl("y", (N,), read="y"),
+    )
+    stages = (
+        KernelStage(
+            # 4 weights for an 8-group NDRange
+            _spec("kp_weighted",
+                  (buffer_arg("x"), buffer_arg("y", Intent.OUT)),
+                  _fk405_body, group_weights=(1.0, 2.0, 1.0, 2.0)),
+            _ND, binds={"x": "x", "y": "y"}),
+    )
+    return decls, stages
+
+
+# -- FK501: transposed tile composition across the merge boundary -----------
+_N2, _L2 = 16, 4
+_ND2 = NDRange((_N2, _N2), (_L2, _L2))
+
+
+def _fk501_prod_body(ctx):
+    rows = ctx.rows()
+    cols = ctx.cols()
+    ctx["t"][rows, cols] = 2.0 * ctx["a"][rows, cols]
+
+
+def _fk501_cons_body(ctx):
+    rows = ctx.rows()
+    cols = ctx.cols()
+    # transposed: reads dim-1 tiles on the axis the producer wrote dim-0
+    ctx["y"][rows, cols] = ctx["t"][cols, rows]
+
+
+def transposed_tile() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("a", (_N2, _N2), init="a"),
+        BufferDecl("t", (_N2, _N2)),
+        BufferDecl("y", (_N2, _N2), read="y"),
+    )
+    stages = (
+        KernelStage(
+            _spec("kp_tile_prod",
+                  (buffer_arg("a"), buffer_arg("t", Intent.OUT)),
+                  _fk501_prod_body),
+            _ND2, binds={"a": "a", "t": "t"}),
+        KernelStage(
+            _spec("kp_tile_cons",
+                  (buffer_arg("t"), buffer_arg("y", Intent.OUT)),
+                  _fk501_cons_body),
+            _ND2, binds={"t": "t", "y": "y"}),
+    )
+    return decls, stages
+
+
+# -- FK502: tile rank mismatch across the merge boundary --------------------
+def _fk502_prod_body(ctx):
+    rows = ctx.rows()
+    ctx["t"][rows] = 2.0 * ctx["x"][rows]
+
+
+def _fk502_cons_body(ctx):
+    rows = ctx.rows()
+    cols = ctx.cols()
+    ctx["y"][rows, cols] = ctx["t"][rows, cols]
+
+
+def rank_mismatch() -> Tuple[Tuple[BufferDecl, ...], Tuple[Stage, ...]]:
+    decls = (
+        BufferDecl("x", (N,), init="x"),
+        BufferDecl("t", (N,)),
+        BufferDecl("y", (8, 8), read="y"),
+    )
+    stages = (
+        KernelStage(
+            _spec("kp_rank_prod",
+                  (buffer_arg("x"), buffer_arg("t", Intent.OUT)),
+                  _fk502_prod_body),
+            _ND, binds={"x": "x", "t": "t"}),
+        KernelStage(
+            _spec("kp_rank_cons",
+                  (buffer_arg("t"), buffer_arg("y", Intent.OUT)),
+                  _fk502_cons_body),
+            NDRange((8, 8), (4, 4)), binds={"t": "t", "y": "y"}),
+    )
+    return decls, stages
+
+
+@dataclass(frozen=True)
+class KnownBadPipelineCase:
+    """One planted inter-stage defect and the rule it must be caught by."""
+
+    name: str
+    expected_rule: str
+    factory: "object"  # () -> (decls, stages)
+    description: str = ""
+
+    def pipeline(self) -> Tuple[Sequence[BufferDecl], Sequence[Stage]]:
+        return self.factory()
+
+
+KNOWN_BAD_PIPELINES: Tuple[KnownBadPipelineCase, ...] = (
+    KnownBadPipelineCase(
+        "undeclared-stage-write", "FK401", undeclared_stage_write,
+        description="a stage body writes a buffer it binds with intent="
+                    "'in' and a later stage reads it: the write never "
+                    "merges, so the reader sees a corrupt partition mix"),
+    KnownBadPipelineCase(
+        "unordered-waw", "FK402", unordered_waw,
+        description="two stages write the same buffer with no reader "
+                    "between them: no dependency edge orders the writes"),
+    KnownBadPipelineCase(
+        "shrinking-extent", "FK403", shrinking_extent,
+        description="loop-carried buffer written under a data-dependent "
+                    "NDRange but read at full extent: iterations mix "
+                    "wherever the range shrank"),
+    KnownBadPipelineCase(
+        "host-clobber", "FK404", host_clobber,
+        description="a host stage overwrites a kernel-produced buffer it "
+                    "never read: the live version is clobbered blind"),
+    KnownBadPipelineCase(
+        "group-weights-mismatch", "FK405", weights_mismatch,
+        description="group_weights length cannot match the stage's "
+                    "NDRange group count"),
+    KnownBadPipelineCase(
+        "transposed-tile", "FK501", transposed_tile,
+        description="consumer reads the transposed tile of what its "
+                    "producer wrote: the flattened-ID partition no longer "
+                    "covers the read across the merge boundary"),
+    KnownBadPipelineCase(
+        "rank-mismatch", "FK502", rank_mismatch,
+        description="consumer recomposes a rank-1 partitioned buffer "
+                    "through a rank-2 tile subscript"),
+)
+
+
+def known_bad_pipeline(name: str) -> KnownBadPipelineCase:
+    for case in KNOWN_BAD_PIPELINES:
+        if case.name == name:
+            return case
+    raise KeyError(f"no known-bad pipeline named {name!r}")

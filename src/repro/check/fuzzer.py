@@ -253,10 +253,15 @@ def preflight_lint(app, config: FuzzConfig) -> List[LintReport]:
     through (empty list): the fuzzer cannot judge what it cannot see.
     """
     specs = app.kernel_specs()
-    if not specs:
-        return []
-    reports = analyze_specs(specs, abort_in_loops=config.abort_in_loops,
-                            loop_unroll=config.loop_unroll)
+    reports = []
+    if specs:
+        reports = analyze_specs(specs, abort_in_loops=config.abort_in_loops,
+                                loop_unroll=config.loop_unroll)
+    from repro.workloads.pipeline import PipelineApp
+    if isinstance(app, PipelineApp):
+        # whole-pipeline pass: an inter-stage hazard (FK4xx/FK5xx) makes
+        # oracle mismatches just as inevitable as a per-kernel race
+        reports = list(reports) + [app.analyze()]
     return [r for r in reports if not r.fluidic_safe]
 
 

@@ -15,6 +15,12 @@ that stops being fluidic-safe, fails the build before any run does.
 defect in :mod:`repro.analysis.known_bad` must be flagged with its
 expected rule ID (mirroring ``check --known-bad``), exiting 1 if the
 analyzer misses or misclassifies one.
+
+``--pipelines`` switches both modes to the *whole-pipeline* analyzer
+(:mod:`repro.analysis.pipeline_analyzer`): every ``PipelineApp`` in the
+target set is run through the FK4xx/FK5xx inter-stage dataflow rules,
+and ``--pipelines --known-bad`` self-tests against the planted fixtures
+in :mod:`repro.analysis.known_bad_pipelines`.
 """
 
 from __future__ import annotations
@@ -72,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="self-test: verify every planted defect in "
                              "repro.analysis.known_bad is flagged with its "
                              "expected rule ID")
+    parser.add_argument("--pipelines", action="store_true",
+                        help="analyze whole pipelines (FK4xx/FK5xx "
+                             "inter-stage dataflow) instead of individual "
+                             "kernels; with --known-bad, self-test against "
+                             "repro.analysis.known_bad_pipelines")
     return parser
 
 
@@ -161,6 +172,67 @@ def _known_bad_main(as_json: bool) -> int:
     return 1 if failures else 0
 
 
+def _pipeline_known_bad_main(as_json: bool) -> int:
+    from repro.analysis.known_bad_pipelines import KNOWN_BAD_PIPELINES
+    from repro.analysis.pipeline_analyzer import analyze_pipeline
+
+    failures = 0
+    rows = []
+    for case in KNOWN_BAD_PIPELINES:
+        decls, stages = case.pipeline()
+        report = analyze_pipeline(decls, stages, name=case.name)
+        caught = case.expected_rule in report.rule_ids()
+        failures += 0 if caught else 1
+        rows.append({"case": case.name, "expected": case.expected_rule,
+                     "reported": list(report.rule_ids()), "caught": caught})
+        if not as_json:
+            status = "caught" if caught else "MISSED"
+            print(f"{status:7s} {case.name:26s} expected={case.expected_rule} "
+                  f"reported={','.join(report.rule_ids()) or '-'}")
+    if as_json:
+        print(json.dumps(rows, indent=2))
+    elif failures == 0:
+        print(f"all {len(KNOWN_BAD_PIPELINES)} known-bad pipelines flagged "
+              "with their expected rule IDs")
+    else:
+        print(f"{failures} known-bad pipeline(s) NOT flagged as expected")
+    return 1 if failures else 0
+
+
+def _pipelines_main(args) -> int:
+    """Analyze every ``PipelineApp`` in the target set (FK4xx/FK5xx)."""
+    from repro.workloads.pipeline import PipelineApp
+
+    apps = tuple(args.apps.split(",")) if args.apps else EXTENDED_SUITE
+    reports = []
+    for app_name in apps:
+        app = make_app(app_name, scale=args.scale)
+        if not isinstance(app, PipelineApp):
+            continue
+        reports.append((app_name, app.analyze()))
+    if not reports:
+        print("no PipelineApp in the target set; nothing to analyze",
+              file=sys.stderr)
+        return 0
+
+    if args.as_json:
+        payload = [{
+            "origin": origin,
+            "pipeline": report.kernel,
+            "fluidic_safe": report.fluidic_safe,
+            "findings": [f.as_dict() for f in report.findings],
+        } for origin, report in reports]
+        print(json.dumps(payload, indent=2))
+        return 1 if any(
+            r.worth_reporting(Severity.WARNING) for _, r in reports) else 0
+
+    reportable = _render_reports(reports, args.verbose)
+    unsafe = sum(1 for _, r in reports if not r.fluidic_safe)
+    print(f"{len(reports)} pipeline(s) analyzed: {reportable} finding(s), "
+          f"{unsafe} not fluidic-safe")
+    return 1 if reportable else 0
+
+
 def _render_reports(reports: List[Tuple[str, LintReport]],
                     verbose: bool) -> int:
     """Print the text report; returns the number of reportable findings."""
@@ -183,6 +255,10 @@ def _render_reports(reports: List[Tuple[str, LintReport]],
 
 def lint_main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.pipelines:
+        if args.known_bad:
+            return _pipeline_known_bad_main(args.as_json)
+        return _pipelines_main(args)
     if args.known_bad:
         return _known_bad_main(args.as_json)
 

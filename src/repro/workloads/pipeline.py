@@ -279,8 +279,17 @@ def _check_stages(stages: Sequence[Stage], declared: Set[str],
 
 
 def validate_pipeline(decls: Sequence[BufferDecl],
-                      stages: Sequence[Stage]) -> None:
-    """Reject inconsistent pipelines before any simulated work runs."""
+                      stages: Sequence[Stage], *,
+                      analyze: bool = False,
+                      name: str = "pipeline"):
+    """Reject inconsistent pipelines before any simulated work runs.
+
+    With ``analyze=True`` the structural checks are followed by the
+    whole-pipeline static dataflow pass (FK4xx/FK5xx rules,
+    :mod:`repro.analysis.pipeline_analyzer`): the resulting
+    ``PipelineLintReport`` is returned, and a pipeline with any ERROR
+    finding raises :class:`~repro.analysis.diagnostics.LintError`.
+    """
     names = [d.name for d in decls]
     duplicates = sorted({n for n in names if names.count(n) > 1})
     if duplicates:
@@ -297,6 +306,15 @@ def validate_pipeline(decls: Sequence[BufferDecl],
                 f"output buffer {d.name!r} (read as {d.read!r}) is never "
                 f"written by any stage"
             )
+    if analyze:
+        from repro.analysis.diagnostics import LintError
+        from repro.analysis.pipeline_analyzer import analyze_pipeline
+
+        report = analyze_pipeline(decls, stages, name=name)
+        if not report.fluidic_safe:
+            raise LintError([report])
+        return report
+    return None
 
 
 def dependency_edges(decls: Sequence[BufferDecl], stages: Sequence[Stage],
@@ -415,26 +433,134 @@ class PipelineApp(PolybenchApp):
                 metas.append(KernelMeta(stage.spec.name, stage.ndrange))
         return metas
 
+    def analyze(self):
+        """The pipeline's static FK4xx/FK5xx report (cached per instance)."""
+        cached = getattr(self, "_pipeline_report", None)
+        if cached is None:
+            from repro.analysis.pipeline_analyzer import analyze_pipeline
+
+            decls, stages = self.pipeline()
+            cached = analyze_pipeline(decls, stages, name=self.name)
+            self._pipeline_report = cached
+        return cached
+
     def host_program(self, runtime: AbstractRuntime,
                      inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         decls, stages = self.pipeline()
-        decls_by_name = {d.name: d for d in decls}
-        buffers = {
-            d.name: runtime.create_buffer(d.name, d.shape, d.dtype)
-            for d in decls
-        }
-        for d in decls:
-            if d.init is not None:
-                runtime.enqueue_write_buffer(buffers[d.name], inputs[d.init])
-        state = self.initial_state(inputs)
-        self._run_stages(runtime, buffers, decls_by_name, state, stages)
-        outputs: Dict[str, np.ndarray] = {}
-        for d in decls:
-            if d.read is not None:
-                out = np.empty(d.shape, dtype=d.dtype)
-                runtime.enqueue_read_buffer(buffers[d.name], out)
-                outputs[d.read] = out
-        return outputs
+        sanitizer, recorder = self._pipeline_guard(runtime, decls, stages)
+        try:
+            decls_by_name = {d.name: d for d in decls}
+            buffers = {
+                d.name: runtime.create_buffer(d.name, d.shape, d.dtype)
+                for d in decls
+            }
+            for d in decls:
+                if d.init is not None:
+                    runtime.enqueue_write_buffer(buffers[d.name],
+                                                 inputs[d.init])
+            state = self.initial_state(inputs)
+            self._run_stages(runtime, buffers, decls_by_name, state, stages)
+            outputs: Dict[str, np.ndarray] = {}
+            for d in decls:
+                if d.read is not None:
+                    out = np.empty(d.shape, dtype=d.dtype)
+                    runtime.enqueue_read_buffer(buffers[d.name], out)
+                    outputs[d.read] = out
+            return outputs
+        finally:
+            if sanitizer is not None:
+                sanitizer.detach(recorder)
+                self._report_sanitizer(runtime, sanitizer)
+
+    # -- pipeline lint gate + runtime sanitizer ------------------------------
+    def _pipeline_guard(self, runtime: AbstractRuntime, decls, stages):
+        """Apply ``FluidiCLConfig.lint`` to the whole pipeline.
+
+        ``strict`` refuses to launch a pipeline with FK4xx/FK5xx errors
+        before any buffer exists; ``warn`` emits deduplicated
+        ``lint_finding`` events and proceeds.  When the machine records
+        events, a :class:`~repro.analysis.pipeline_sanitizer.
+        PipelineSanitizer` is attached for the duration of the run so the
+        static dataflow claims are validated dynamically.  Runtimes
+        without a lint posture (the single-device baseline) are passed
+        through untouched.
+        """
+        config = getattr(runtime, "config", None)
+        lint = getattr(config, "lint", "off") if config is not None else "off"
+        if lint == "off":
+            return None, None
+        report = self.analyze()
+        if lint == "strict" and not report.fluidic_safe:
+            from repro.analysis.diagnostics import LintError
+
+            raise LintError([report])
+        self._emit_pipeline_findings(runtime, report)
+        if not getattr(config, "pipeline_sanitizer", True):
+            return None, None
+        recorder = getattr(getattr(runtime, "machine", None), "tracer", None)
+        if recorder is None or not hasattr(recorder, "add_listener"):
+            return None, None
+        from repro.analysis.pipeline_analyzer import predicted_writers
+        from repro.analysis.pipeline_sanitizer import PipelineSanitizer
+
+        sanitizer = PipelineSanitizer(predicted_writers(decls, stages),
+                                      strict=(lint == "strict"))
+        return sanitizer.attach(recorder), recorder
+
+    def _lint_seen(self, runtime: AbstractRuntime) -> Set[Tuple]:
+        seen = getattr(self, "_pipeline_lint_emitted", None)
+        if seen is None:
+            seen = {}
+            self._pipeline_lint_emitted = seen
+        return seen.setdefault(id(runtime), set())
+
+    def _emit_pipeline_findings(self, runtime: AbstractRuntime,
+                                report) -> None:
+        from repro.analysis.diagnostics import Severity
+
+        engine = getattr(runtime, "engine", None)
+        metrics = getattr(runtime, "metrics", None)
+        if engine is None:
+            return
+        seen = self._lint_seen(runtime)
+        for finding in report.worth_reporting(Severity.WARNING):
+            key = (finding.rule_id, finding.stage, finding.buffer,
+                   finding.arg)
+            if key in seen:
+                continue
+            seen.add(key)
+            if metrics is not None:
+                metrics.counter("lint_findings").inc()
+            engine.trace(
+                "lint_finding", kernel=report.kernel, version="pipeline",
+                rule=finding.rule_id, severity=finding.severity.value,
+                arg=finding.arg, stage=finding.stage, buffer=finding.buffer,
+                message=finding.message,
+            )
+
+    def _report_sanitizer(self, runtime: AbstractRuntime, sanitizer) -> None:
+        """Surface runtime dataflow divergences as ``lint_finding`` events."""
+        if not sanitizer.violations:
+            return
+        engine = getattr(runtime, "engine", None)
+        metrics = getattr(runtime, "metrics", None)
+        if engine is None:
+            return
+        seen = self._lint_seen(runtime)
+        for violation in sanitizer.violations:
+            key = ("sanitizer", violation.rule_id, violation.buffer,
+                   violation.producer)
+            if key in seen:
+                continue
+            seen.add(key)
+            if metrics is not None:
+                metrics.counter("lint_findings").inc()
+            engine.trace(
+                "lint_finding", kernel=self.name, version="pipeline",
+                rule=violation.rule_id, severity="error", arg=None,
+                stage=violation.producer, buffer=violation.buffer,
+                message=violation.message,
+            )
 
     def _run_stages(self, runtime: AbstractRuntime,
                     buffers: Mapping[str, Any],

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.analysis.facts import AccessMode, AxisKind, extract_facts
+from repro.analysis.facts import AxisKind, extract_facts
 
 
 def _only_write(facts, buffer):

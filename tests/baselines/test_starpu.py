@@ -10,7 +10,6 @@ from repro.baselines.starpu import (
 )
 from repro.baselines.starpu.tasks import DataHandle
 from repro.hw.machine import build_machine
-from repro.kernels.dsl import Intent
 from repro.ocl.ndrange import NDRange
 from repro.polybench import make_app
 

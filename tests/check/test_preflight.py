@@ -1,7 +1,5 @@
 """The fuzzer's static pre-flight: unsafe kernels are never scheduled."""
 
-import numpy as np
-
 from repro.analysis.known_bad import cross_group_write_kernel
 from repro.check import fuzzer as fuzzer_mod
 from repro.check.fuzzer import FuzzConfig, preflight_lint, run_config

@@ -10,7 +10,6 @@ kills each member in turn — whichever front dies, the survivors must
 finish the range with correct numerics.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.runtime import FluidiCLRuntime

@@ -1,7 +1,6 @@
 """Unit and property tests for the diff+merge step (paper section 4.3)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.merge import (
@@ -10,7 +9,6 @@ from repro.core.merge import (
     merge_ndrange,
     reference_merge,
 )
-from repro.kernels.dsl import WorkGroupContext
 from repro.kernels.transforms import plain_variant
 from repro.ocl.kernel import Kernel
 from repro.ocl.platform import Platform

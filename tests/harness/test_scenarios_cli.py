@@ -3,8 +3,6 @@
 import json
 import os
 
-import pytest
-
 from repro.harness.__main__ import main
 from repro.harness.scenarios_cli import SCENARIOS, scenarios_main
 from repro.hw.machine import MACHINE_PRESETS

@@ -1,7 +1,5 @@
 """Unit tests for the work-group cost model."""
 
-import dataclasses
-
 import pytest
 from hypothesis import given, strategies as st
 

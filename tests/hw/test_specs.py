@@ -11,7 +11,6 @@ from repro.hw.specs import (
     TESLA_C2070,
     XEON_W3550,
     DeviceKind,
-    DeviceSpec,
 )
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.hw.memory import OutOfDeviceMemoryError
-from repro.ocl.device import Device
 from repro.ocl.platform import Platform
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ocl.commands import CallbackCommand, CopyBufferCommand, WriteBufferCommand
+from repro.ocl.commands import CallbackCommand, CopyBufferCommand
 from repro.ocl.platform import Platform
 
 

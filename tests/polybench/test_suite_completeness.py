@@ -60,3 +60,32 @@ class TestIntrospection:
             f"{name}: linter found "
             f"{[(f.rule_id, f.message) for f in findings]}")
         assert all(r.fluidic_safe for r in reports)
+
+
+class TestPipelineAnalysis:
+    """Every shipped ``PipelineApp`` is FK4xx/FK5xx-clean at every scale.
+
+    The whole-pipeline dataflow analyzer must report zero findings — not
+    merely zero errors — for 2mm, 3mm, bfs and scan: the shipped suite is
+    the analyzer's negative control, so any new finding here is either an
+    app regression or an over-eager rule.
+    """
+
+    PIPELINE_APPS = ("2mm", "3mm", "bfs", "scan")
+
+    def test_expected_apps_are_pipelines(self):
+        from repro.workloads.pipeline import PipelineApp
+
+        actual = {name for name in EXTENDED_SUITE
+                  if isinstance(make_app(name, "test"), PipelineApp)}
+        assert actual == set(self.PIPELINE_APPS)
+
+    @pytest.mark.parametrize("scale", sorted(SCALES))
+    @pytest.mark.parametrize("name", PIPELINE_APPS)
+    def test_pipeline_analyzes_clean(self, name, scale):
+        app = make_app(name, scale)
+        report = app.analyze()
+        assert report.findings == [], (
+            f"{name}@{scale}: pipeline analyzer found "
+            f"{[(f.rule_id, f.message) for f in report.findings]}")
+        assert report.fluidic_safe

@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.sim.core import (
-    AllOf,
-    AnyOf,
-    Engine,
-    Event,
-    Interrupt,
-    Process,
-    SimDeadlockError,
-    SimError,
-    Timeout,
-)
+from repro.sim.core import Interrupt, SimDeadlockError, SimError
 
 
 class TestEvent:
