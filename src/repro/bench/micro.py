@@ -207,6 +207,48 @@ def _fuzzer_seeds(n: int) -> dict:
     return {"work": n, "simulated": simulated, "meta": {"outcomes": outcomes}}
 
 
+def _serve_dispatch(n: int) -> dict:
+    """``n`` open-loop requests through the serving layer (repro.serve).
+
+    Measures the dispatch hot path end to end — admission, weighted-fair
+    queueing, the staged job pipeline and the online serve-accounting
+    monitor — in jobs per wall second.  App profiles are measured once
+    per process and cached, so repeats time only the serving itself.
+    """
+    from repro.serve.run import ServeConfig, run_serve
+
+    report = run_serve(ServeConfig(seed=0, requests=n, arrival="poisson"))
+    if report.violations:
+        raise AssertionError(
+            f"bench serve run found violations: "
+            f"{[str(v) for v in report.violations]}"
+        )
+    return {"work": n, "simulated": report.simulated_seconds,
+            "meta": {"throughput_jobs_per_sim_s": report.totals["throughput"],
+                     "digest": report.digest}}
+
+
+def _serve_p99_closed_loop(n: int) -> dict:
+    """``n`` closed-loop requests; the tail-latency reporting path.
+
+    Exercises the client think-time loop, per-tenant exact latency
+    ledgers and the percentile computation over them; the meta records
+    the worst per-tenant p99 so snapshot diffs surface tail shifts.
+    """
+    from repro.serve.run import ServeConfig, run_serve
+
+    report = run_serve(ServeConfig(seed=0, requests=n, arrival="closed",
+                                   clients=8))
+    if report.violations:
+        raise AssertionError(
+            f"bench serve run found violations: "
+            f"{[str(v) for v in report.violations]}"
+        )
+    worst_p99 = max(row["p99_ms"] for row in report.tenants.values())
+    return {"work": n, "simulated": report.simulated_seconds,
+            "meta": {"worst_p99_ms": worst_p99, "digest": report.digest}}
+
+
 MICRO_BENCHMARKS = (
     MicroCase("event_churn", "events/s", 200_000, 20_000, _event_churn),
     MicroCase("process_wakeups", "wakeups/s", 50_000, 5_000, _process_wakeups),
@@ -217,6 +259,9 @@ MICRO_BENCHMARKS = (
               _subkernel_launch_rate_3dev),
     MicroCase("host_roundtrip", "ops/s", 300, 50, _host_roundtrip),
     MicroCase("fuzzer_seeds", "seeds/s", 6, 2, _fuzzer_seeds),
+    MicroCase("serve_dispatch", "jobs/s", 5_000, 500, _serve_dispatch),
+    MicroCase("serve_p99.closed_loop", "jobs/s", 2_000, 300,
+              _serve_p99_closed_loop),
 )
 
 

@@ -33,6 +33,7 @@ from repro.obs.events import TraceEvent
 from repro.ocl.health import DeviceLostError
 from repro.polybench.common import DEFAULT_RTOL
 from repro.polybench.suite import EXTENDED_SUITE, SCALES, make_app
+from repro.serve.run import ServeConfig, run_serve
 
 __all__ = ["FuzzConfig", "CheckResult", "ScheduleFuzzer", "run_config",
            "preflight_lint", "CORRUPTION_KINDS"]
@@ -76,8 +77,27 @@ class FuzzConfig:
     #: N-device sets.  GPU-kind devices scale by ``gpu_scale``, CPU-kind
     #: by ``cpu_scale``.
     machine: str = "default"
+    #: serving-layer axis: when set, the seed checks a multi-tenant load
+    #: test (:mod:`repro.serve`) instead of a single cooperative run — the
+    #: monitor's serve-accounting invariant (#12) is the oracle.  Opt-in
+    #: (``ScheduleFuzzer(serve=True)``): the classic axes never draw it,
+    #: so historical seeds stay byte-identical.
+    serve: Optional[ServeConfig] = None
 
     def describe(self) -> str:
+        if self.serve is not None:
+            s = self.serve
+            bits = [f"seed={self.seed}", "serve",
+                    f"requests={s.requests}", f"arrival={s.arrival}",
+                    f"tenants={s.n_tenants}", f"depth={s.max_queue_depth}",
+                    f"inflight={s.max_inflight}"]
+            if s.machine != "default":
+                bits.append(f"machine={s.machine}")
+            if s.fault_seed is not None:
+                bits.append(f"faults={s.fault_n}@{s.fault_seed}")
+            if s.jitter_seed is not None:
+                bits.append(f"jitter={s.jitter_seed}")
+            return " ".join(bits)
         bits = [f"seed={self.seed}", f"{self.app}@{self.size}",
                 f"gpu×{self.gpu_scale:.2f}", f"cpu×{self.cpu_scale:.2f}",
                 f"chunk={self.initial_chunk_fraction:.2f}"
@@ -139,7 +159,10 @@ class CheckResult:
             extra = f" wrong result (err={self.max_relative_error:.2e})"
         elif self.error:
             extra = f" {self.error}"
-        return (f"{status:11s} {self.config.app:8s} n={self.config.size:<4d} "
+        label = "serve" if self.config.serve is not None else self.config.app
+        n = (self.config.serve.requests if self.config.serve is not None
+             else self.config.size)
+        return (f"{status:11s} {label:8s} n={n:<4d} "
                 f"checks={self.checks:<5d} events={self.events:<6d}"
                 f"{extra}")
 
@@ -150,14 +173,18 @@ class ScheduleFuzzer:
     def __init__(self, apps: Sequence[str] = EXTENDED_SUITE,
                  scale: str = "test", faults: bool = True,
                  jitter: bool = True,
-                 machines: Sequence[str] = ("default",)):
+                 machines: Sequence[str] = ("default",),
+                 serve: bool = False):
         self.apps = tuple(apps)
         self.scale = scale
         self.faults = faults
         self.jitter = jitter
         self.machines = tuple(machines) or ("default",)
+        self.serve = serve
 
     def config(self, seed: int) -> FuzzConfig:
+        if self.serve:
+            return self._serve_config(seed)
         rng = random.Random(f"fluidicl-check:{seed}")
         # round-robin the apps so any seed range covers the whole suite;
         # the machine axis round-robins too, WITHOUT consuming rng draws —
@@ -197,6 +224,43 @@ class ScheduleFuzzer:
             faults=faults,
             machine=machine,
         )
+
+    def _serve_config(self, seed: int) -> FuzzConfig:
+        """The serving-layer axis: seed → a multi-tenant load-test draw.
+
+        Uses its own rng namespace (``fluidicl-serve-fuzz``) so it can
+        evolve without perturbing the classic axes' historical draws.
+        Utilization deliberately ranges past 1.0 — overload, shedding and
+        tiny queue depths are exactly where admission accounting breaks.
+        """
+        rng = random.Random(f"fluidicl-serve-fuzz:{seed}")
+        arrival = ("poisson", "burst", "closed")[seed % 3]
+        machine = self.machines[seed % len(self.machines)]
+        fault_seed = None
+        fault_n = 0
+        if self.faults and rng.random() < 0.5:
+            fault_seed = rng.randrange(2 ** 31)
+            fault_n = rng.randint(1, 4)
+        jitter_seed = None
+        if self.jitter and rng.random() < 0.75:
+            jitter_seed = rng.randrange(2 ** 31)
+        serve = ServeConfig(
+            seed=seed,
+            requests=rng.randrange(100, 400),
+            arrival=arrival,
+            utilization=round(rng.uniform(0.3, 1.5), 3),
+            burst_factor=round(rng.uniform(2.0, 8.0), 2),
+            on_fraction=round(rng.uniform(0.1, 0.6), 3),
+            clients=rng.randint(2, 12),
+            n_tenants=rng.randint(1, 4),
+            machine=machine,
+            max_queue_depth=rng.choice((2, 4, 8, 64)),
+            max_inflight=rng.choice((1, 2, 4, 8)),
+            fault_seed=fault_seed,
+            fault_n=fault_n,
+            jitter_seed=jitter_seed,
+        )
+        return FuzzConfig(seed=seed, serve=serve, machine=machine)
 
     def configs(self, n: int, start: int = 0) -> List[FuzzConfig]:
         return [self.config(seed) for seed in range(start, start + n)]
@@ -265,6 +329,50 @@ def preflight_lint(app, config: FuzzConfig) -> List[LintReport]:
     return [r for r in reports if not r.fluidic_safe]
 
 
+def _run_serve_config(config: FuzzConfig, wall_start: float) -> CheckResult:
+    """Check one serving-layer draw: the run must complete with zero
+    invariant violations (serve-accounting included) and every submitted
+    job accounted for (admitted + shed == submitted)."""
+    outcome = "ok"
+    error: Optional[str] = None
+    violations: List[Violation] = []
+    checks = 0
+    elapsed = 0.0
+    try:
+        report = run_serve(config.serve)
+        violations = list(report.violations)
+        checks = report.checks
+        elapsed = report.simulated_seconds
+        totals = report.totals
+        if totals["submitted"] != totals["admitted"] + totals["shed"]:
+            violations.append(Violation(
+                "serve-accounting",
+                f"submitted {totals['submitted']:.0f} != admitted "
+                f"{totals['admitted']:.0f} + shed {totals['shed']:.0f}",
+                ts=report.simulated_seconds,
+            ))
+        if totals["admitted"] != totals["completed"] + totals["failed"]:
+            violations.append(Violation(
+                "serve-accounting",
+                f"admitted {totals['admitted']:.0f} jobs but only "
+                f"{totals['completed']:.0f} completed + "
+                f"{totals['failed']:.0f} failed drained",
+                ts=report.simulated_seconds,
+            ))
+    except Exception as err:  # noqa: BLE001 - any crash is a finding
+        outcome = "error"
+        error = f"{type(err).__name__}: {err}"
+    return CheckResult(
+        config=config,
+        outcome=outcome,
+        violations=violations,
+        elapsed=elapsed,
+        wall_seconds=time.perf_counter() - wall_start,
+        checks=checks,
+        error=error,
+    )
+
+
 def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL,
                trace_path: Optional[str] = None) -> CheckResult:
     """Execute one fuzz configuration and check every invariant.
@@ -279,6 +387,8 @@ def run_config(config: FuzzConfig, rtol: float = DEFAULT_RTOL,
     ``scenarios`` CLI to ship an inspectable artifact per run).
     """
     wall_start = time.perf_counter()
+    if config.serve is not None:
+        return _run_serve_config(config, wall_start)
     app = make_app(config.app, scale="test", size=config.size)
     unsafe = preflight_lint(app, config)
     if unsafe:

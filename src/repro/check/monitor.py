@@ -53,12 +53,21 @@ correctness argument (see DESIGN.md, "Schedule-space fuzzing"):
     clock only moves forward, so the recorder stream is monotone in
     simulated time (checked for *every* event, not just the handled
     categories).
+``serve-accounting``
+    Serving-layer (:mod:`repro.serve`) admission conservation and
+    per-tenant FIFO order: every submitted job resolves to exactly one of
+    *admitted* or *shed* at the submission instant (so ``admitted + shed
+    == submitted`` holds at all times); only admitted jobs start and only
+    started jobs finish (completions are a subset of admissions); and
+    within one tenant, jobs start in admission order.  A drained,
+    non-aborted run finishes every admitted job.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.core.offsets import coalesce_windows
 from repro.obs.events import TraceEvent
@@ -148,6 +157,11 @@ class CoherenceMonitor:
         self._latest: Dict[str, int] = {}
         #: timestamp of the last observed event (clock-monotonicity)
         self._last_ts = float("-inf")
+        #: serving-layer lifecycle per job id:
+        #: "submitted" -> "admitted"/"shed" -> "started" -> "done"
+        self._job_state: Dict[int, str] = {}
+        #: per-tenant admitted-but-not-started job ids, in admission order
+        self._job_pending: Dict[str, Deque[int]] = {}
 
     # -- wiring ------------------------------------------------------------
     def attach(self, recorder: EventRecorder) -> "CoherenceMonitor":
@@ -212,6 +226,24 @@ class CoherenceMonitor:
                     aborted, "commit-consistency",
                     f"kernel {state.name!r} began but never ended",
                     ts=0.0, kernel_id=state.kernel_id,
+                )
+        # Invariant #12: after a drained run, every job has resolved —
+        # admission happened at submission, and every admitted job ran to
+        # job_done (admitted + shed == submitted, completed == admitted).
+        for job_id, phase in self._job_state.items():
+            if phase == "submitted":
+                self._check(
+                    False, "serve-accounting",
+                    f"job {job_id} was submitted but neither admitted nor "
+                    f"shed (admission conservation broken)",
+                    ts=0.0,
+                )
+            elif phase in ("admitted", "started"):
+                self._check(
+                    aborted, "serve-accounting",
+                    f"job {job_id} ended the run in state {phase!r} "
+                    f"(admitted but never finished)",
+                    ts=0.0,
                 )
 
     # -- handlers ----------------------------------------------------------
@@ -452,6 +484,54 @@ class CoherenceMonitor:
             event.ts, state.kernel_id,
         )
 
+    # -- invariant #12: serving-layer accounting ---------------------------
+    def _on_job_submitted(self, event: TraceEvent) -> None:
+        job_id = int(event["job_id"])
+        self._check(
+            job_id not in self._job_state, "serve-accounting",
+            f"job id {job_id} submitted twice", event.ts,
+        )
+        self._job_state[job_id] = "submitted"
+
+    def _job_transition(self, event: TraceEvent, expected: str,
+                        new_state: str) -> bool:
+        job_id = int(event["job_id"])
+        current = self._job_state.get(job_id)
+        ok = self._check(
+            current == expected, "serve-accounting",
+            f"{event.category} for job {job_id} in state {current!r} "
+            f"(expected {expected!r})",
+            event.ts,
+        )
+        self._job_state[job_id] = new_state
+        return ok
+
+    def _on_job_admitted(self, event: TraceEvent) -> None:
+        if self._job_transition(event, "submitted", "admitted"):
+            tenant = str(event.get("tenant", ""))
+            self._job_pending.setdefault(tenant, deque()).append(
+                int(event["job_id"]))
+
+    def _on_job_shed(self, event: TraceEvent) -> None:
+        self._job_transition(event, "submitted", "shed")
+
+    def _on_job_started(self, event: TraceEvent) -> None:
+        if not self._job_transition(event, "admitted", "started"):
+            return
+        tenant = str(event.get("tenant", ""))
+        pending = self._job_pending.get(tenant)
+        job_id = int(event["job_id"])
+        expected = pending.popleft() if pending else None
+        self._check(
+            expected == job_id, "serve-accounting",
+            f"tenant {tenant!r} started job {job_id} ahead of its earlier "
+            f"admitted job {expected} (per-tenant FIFO order broken)",
+            event.ts,
+        )
+
+    def _on_job_done(self, event: TraceEvent) -> None:
+        self._job_transition(event, "started", "done")
+
     _HANDLERS = {
         "kernel_begin": _on_kernel_begin,
         "kernel_end": _on_kernel_end,
@@ -463,4 +543,9 @@ class CoherenceMonitor:
         "buffer_write": _on_buffer_write,
         "buffer_read": _on_buffer_read,
         "stale_dh_discard": _on_stale_discard,
+        "job_submitted": _on_job_submitted,
+        "job_admitted": _on_job_admitted,
+        "job_shed": _on_job_shed,
+        "job_started": _on_job_started,
+        "job_done": _on_job_done,
     }

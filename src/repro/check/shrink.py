@@ -47,8 +47,40 @@ class ShrinkResult:
         return self.minimal != self.original
 
 
+def _serve_candidates(config: FuzzConfig) -> Iterator[tuple]:
+    """Simplifications of a serving-layer draw, cheapest win first."""
+    serve = config.serve
+    if serve.fault_seed is not None:
+        yield ("drop serve fault schedule",
+               replace(config, serve=replace(serve, fault_seed=None,
+                                             fault_n=0)))
+    if serve.jitter_seed is not None:
+        yield ("disable serve interleave jitter",
+               replace(config, serve=replace(serve, jitter_seed=None)))
+    if serve.machine != "default":
+        yield (f"swap serve machine {serve.machine} -> default",
+               replace(config, serve=replace(serve, machine="default"),
+                       machine="default"))
+    if serve.arrival != "poisson":
+        yield (f"swap arrival {serve.arrival} -> poisson",
+               replace(config, serve=replace(serve, arrival="poisson")))
+    if serve.n_tenants > 1 and not serve.tenants:
+        yield (f"reduce tenants {serve.n_tenants} -> 1",
+               replace(config, serve=replace(serve, n_tenants=1)))
+    if serve.max_inflight != 1:
+        yield ("reduce max_inflight to 1",
+               replace(config, serve=replace(serve, max_inflight=1)))
+    half = serve.requests // 2
+    if half >= 20:
+        yield (f"halve requests {serve.requests} -> {half}",
+               replace(config, serve=replace(serve, requests=half)))
+
+
 def _candidates(config: FuzzConfig) -> Iterator[tuple]:
     """Yield ``(description, simplified_config)`` pairs, cheapest win first."""
+    if config.serve is not None:
+        yield from _serve_candidates(config)
+        return
     for i, fault in enumerate(config.faults):
         remaining = config.faults[:i] + config.faults[i + 1:]
         yield (f"drop fault {fault.kind.value}@{fault.at:.4g}s",
@@ -118,9 +150,19 @@ def shrink(config: FuzzConfig,
 
 def _format_value(value) -> str:
     """An eval-able literal for a FuzzConfig field value."""
+    from repro.serve.run import ServeConfig
+
     if isinstance(value, tuple):  # the fault schedule
         inner = ", ".join(_format_fault(f) for f in value)
         return f"({inner},)" if value else "()"
+    if isinstance(value, ServeConfig):
+        default = ServeConfig(seed=value.seed)
+        parts = [f"seed={value.seed!r}"]
+        for f in fields(ServeConfig):
+            field_value = getattr(value, f.name)
+            if f.name != "seed" and field_value != getattr(default, f.name):
+                parts.append(f"{f.name}={field_value!r}")
+        return f"ServeConfig({', '.join(parts)})"
     return repr(value)
 
 
@@ -157,6 +199,8 @@ def reproducer_source(shrunk: ShrinkResult) -> str:
     imports = ["from repro.check import FuzzConfig, run_config"]
     if needs_faults:
         imports.append("from repro.faults import FaultKind, FaultSpec")
+    if config.serve is not None:
+        imports.append("from repro.serve import ServeConfig")
     what = "; ".join(str(v) for v in shrunk.result.violations[:3]) \
         or shrunk.result.error or "wrong result"
     steps = "\n".join(f"#   - {s}" for s in shrunk.steps) or "#   (already minimal)"

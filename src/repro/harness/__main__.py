@@ -22,6 +22,11 @@ Subcommands:
   seeded demo scenarios (app x machine preset x fault schedule x chunker
   settings) through the coherence-checked fuzzer pipeline (see
   :mod:`repro.harness.scenarios_cli`).
+- ``python -m repro.harness serve [--requests N] [--arrival MODEL]
+  [--faults SEED]`` — run a multi-tenant SLO load test through the
+  serving layer with online coherence checking, reporting per-tenant
+  tail latencies, shed rate and SLO attainment (see
+  :mod:`repro.harness.serve_cli` and :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.harness.extensions import EXTENSION_EXPERIMENTS
 from repro.harness.lint_cli import lint_main
 from repro.harness.scenarios_cli import scenarios_main
+from repro.harness.serve_cli import serve_main
 from repro.harness.trace_cli import trace_main
 
 
@@ -52,6 +58,8 @@ def main(argv=None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "scenarios":
         return scenarios_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the FluidiCL paper's tables and figures.",
@@ -66,7 +74,9 @@ def main(argv=None) -> int:
             "pinned benchmark matrix and persists a BENCH_<n>.json "
             "snapshot (python -m repro.harness bench --help); 'scenarios' "
             "runs named seeded demo scenarios through the coherence-"
-            "checked pipeline (python -m repro.harness scenarios --help)."
+            "checked pipeline (python -m repro.harness scenarios --help); "
+            "'serve' runs a multi-tenant SLO load test through the serving "
+            "layer (python -m repro.harness serve --help)."
         ),
     )
     parser.add_argument(

@@ -54,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated machine presets to round-robin "
                              "over the seeds (see MACHINE_PRESETS; default: "
                              "default)")
+    parser.add_argument("--serve", action="store_true",
+                        help="fuzz the serving layer instead: each seed is "
+                             "a multi-tenant load test (seeded tenant mix, "
+                             "arrival model, admission limits, optional "
+                             "faults) checked against the serve-accounting "
+                             "invariant")
     parser.add_argument("--no-faults", action="store_true",
                         help="draw configurations without fault schedules")
     parser.add_argument("--no-jitter", action="store_true",
@@ -75,7 +81,8 @@ def _summarize(results: List[CheckResult], skipped: int,
     lines = []
     by_app = {}
     for r in results:
-        row = by_app.setdefault(r.config.app, {"runs": 0, "ok": 0,
+        label = "serve" if r.config.serve is not None else r.config.app
+        row = by_app.setdefault(label, {"runs": 0, "ok": 0,
                                                "lost": 0, "rej": 0,
                                                "fail": 0, "checks": 0})
         row["runs"] += 1
@@ -110,7 +117,8 @@ def check_main(argv: Optional[List[str]] = None) -> int:
     machines = (tuple(args.machines.split(","))
                 if args.machines else ("default",))
     fuzzer = ScheduleFuzzer(apps=apps, faults=not args.no_faults,
-                            jitter=not args.no_jitter, machines=machines)
+                            jitter=not args.no_jitter, machines=machines,
+                            serve=args.serve)
     began = time.monotonic()
     deadline = began + args.budget_s if args.budget_s is not None else None
     results: List[CheckResult] = []

@@ -6,12 +6,23 @@ periodically occupies a device's compute engine; FluidiCL's subkernels
 contend with it, the measured time-per-work-group degrades, and the
 adaptive machinery shifts work toward the other device — with zero
 configuration changes.
+
+All accounting is **tick-native** (:mod:`repro.sim.timebase`): the deficit
+ledger, burst lengths and the busy-time counter are integer ticks (with an
+exact :class:`~fractions.Fraction` for the duty share), so long runs carry
+zero accumulated float residue — for a µs-aligned period the long-run busy
+share equals ``duty`` bit for bit.  Any float ``duty`` works: a double in
+``(0, 1)`` has a denominator of at most ``2**52``, which the tick scale
+(``2**52`` ticks per µs) absorbs exactly.
 """
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 from repro.ocl.device import Device
 from repro.sim.core import Interrupt
+from repro.sim.timebase import from_ticks, to_ticks
 
 __all__ = ["BackgroundLoad"]
 
@@ -28,15 +39,21 @@ class BackgroundLoad:
         self.device = device
         self.duty = duty
         self.period = period
-        self.busy_time = 0.0
+        #: total engine occupancy in integer ticks (exact)
+        self.busy_ticks = 0
         self._process = None
         if duty > 0:
             self._process = device.engine.process(
                 self._run(), name=f"load@{device.name}"
             )
 
+    @property
+    def busy_time(self) -> float:
+        """Total engine occupancy in float seconds (tick-derived)."""
+        return from_ticks(self.busy_ticks)
+
     def _run(self):
-        """Fair-share load with deficit accounting.
+        """Fair-share load with deficit accounting, in integer ticks.
 
         A real CPU-bound competitor keeps its ``duty`` share of wall time:
         while our (sub)kernel holds the device, the competitor's entitlement
@@ -45,33 +62,47 @@ class BackgroundLoad:
         it at coarse granularity.
         """
         engine = self.device.engine
-        deficit = 0.0
-        last = engine.now
-        burst_cap = 64 * self.period
+        duty = Fraction(self.duty)          # exact value of the float
+        period_ticks = to_ticks(self.period)
+        # For a µs-aligned period both are exact: duty's denominator is a
+        # power of two <= 2**52 and period_ticks carries a 2**52 factor.
+        min_burst = int(duty * period_ticks)
+        off_ticks = period_ticks - min_burst
+        burst_cap = 64 * period_ticks
+        deficit = Fraction(0)               # entitlement owed, in ticks
+        last = engine.now_ticks
+        request = None
         try:
             while True:
                 request = self.device.compute.request()
                 yield request
-                now = engine.now
-                deficit += self.duty * (now - last)
+                now = engine.now_ticks
+                deficit += duty * (now - last)
                 last = now
                 # Burst long enough that, counting the entitlement accrued
                 # *during* the burst itself, the deficit lands at zero:
                 # burst = (deficit + duty*burst)  =>  burst = deficit/(1-duty).
-                burst = min(
-                    max(deficit / (1.0 - self.duty), self.duty * self.period),
-                    burst_cap,
-                )
+                burst = min(max(int(deficit / (1 - duty)), min_burst),
+                            burst_cap)
+                started = engine.now_ticks
                 try:
-                    yield engine.timeout(burst)
+                    yield engine.timeout_ticks(burst)
                 finally:
                     self.device.compute.release(request)
-                self.busy_time += burst
-                now = engine.now
-                deficit = max(0.0, deficit + self.duty * (now - last) - burst)
+                    request = None
+                    # Runs on normal resume *and* on interrupt: credit the
+                    # elapsed portion of the burst either way (an interrupt
+                    # mid-burst still occupied the engine until now).
+                    self.busy_ticks += engine.now_ticks - started
+                now = engine.now_ticks
+                deficit = max(Fraction(0), deficit + duty * (now - last) - burst)
                 last = now
-                yield engine.timeout((1.0 - self.duty) * self.period)
+                yield engine.timeout_ticks(off_ticks)
         except Interrupt:
+            if request is not None:
+                # Interrupted while queued for the slot: cancel the pending
+                # request so the resource never grants it to a dead process.
+                self.device.compute.release(request)
             return
 
     def stop(self) -> None:

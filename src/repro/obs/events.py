@@ -25,6 +25,8 @@ kind              meaning
                   a kernel on the surviving device
 ``lint``          a static-analyzer finding surfaced by the runtime lint
                   gate before a cooperative launch (repro.analysis)
+``job``           one serving-layer job's lifecycle (:mod:`repro.serve`):
+                  submitted, admitted or shed, started, done
 ``generic``       anything else routed through the engine tracer
 ================  ======================================================
 """
@@ -56,6 +58,7 @@ class EventKind(str, enum.Enum):
     FAULT = "fault"
     FAILOVER = "failover"
     LINT = "lint"
+    JOB = "job"
     BENCH = "bench"
     GENERIC = "generic"
 

@@ -59,6 +59,14 @@ _CATEGORIES: Dict[str, Tuple[EventKind, Phase, str]] = {
     "device_degraded": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
     "failover": (EventKind.FAILOVER, Phase.INSTANT, "runtime"),
     "lint_finding": (EventKind.LINT, Phase.INSTANT, "lint"),
+    # serving-layer job lifecycle: all INSTANT (jobs run concurrently, so
+    # begin/end FIFO span pairing per track would mispair them; consumers
+    # correlate on the job_id attr instead)
+    "job_submitted": (EventKind.JOB, Phase.INSTANT, "serve"),
+    "job_admitted": (EventKind.JOB, Phase.INSTANT, "serve"),
+    "job_shed": (EventKind.JOB, Phase.INSTANT, "serve"),
+    "job_started": (EventKind.JOB, Phase.INSTANT, "serve"),
+    "job_done": (EventKind.JOB, Phase.INSTANT, "serve"),
     "bench_begin": (EventKind.BENCH, Phase.BEGIN, "bench"),
     "bench_end": (EventKind.BENCH, Phase.END, "bench"),
 }
@@ -73,10 +81,15 @@ class EventRecorder(Tracer):
     assert invariants *while* the run unfolds instead of post-mortem.
     """
 
-    def __init__(self):
+    def __init__(self, retain: bool = True):
         super().__init__()
         self.events: List[TraceEvent] = []
         self._listeners: List[Any] = []
+        #: with ``retain=False`` the recorder derives typed events and
+        #: notifies listeners but keeps neither stream in memory — the
+        #: mode for load tests that record 10^5+ job lifecycles and only
+        #: need online consumers (monitor, metrics), not post-mortem logs
+        self.retain = retain
 
     # -- monitor hook API --------------------------------------------------
     def add_listener(self, fn) -> None:
@@ -88,7 +101,8 @@ class EventRecorder(Tracer):
 
     # -- ingestion ---------------------------------------------------------
     def record(self, time: float, category: str, payload: Dict[str, Any]) -> None:
-        super().record(time, category, payload)
+        if self.retain:
+            super().record(time, category, payload)
         kind, phase, default_track = _CATEGORIES.get(
             category, (EventKind.GENERIC, Phase.INSTANT, "misc")
         )
@@ -99,7 +113,7 @@ class EventRecorder(Tracer):
             # fault events carry their class in the payload ("device-loss",
             # "transfer", ...); watchdog/failover events name themselves
             name = str(payload.get("kind", category))
-        elif kind is EventKind.GENERIC:
+        elif kind in (EventKind.GENERIC, EventKind.JOB):
             name = category
         else:
             name = _payload_label(payload) or kind.value
@@ -112,7 +126,8 @@ class EventRecorder(Tracer):
             attrs=dict(payload),
             category=category,
         )
-        self.events.append(event)
+        if self.retain:
+            self.events.append(event)
         for listener in self._listeners:
             listener(event)
 

@@ -1,0 +1,55 @@
+"""Multi-tenant serving on the cooperative device set.
+
+The paper's runtime "adapts to system load" — but a single app per node
+never generates load.  :mod:`repro.serve` multiplexes many concurrent
+client jobs onto one simulated machine: per-tenant FIFO queues feed a
+weighted-fair dispatcher with bounded-depth admission control, and each
+admitted job executes as a staged sim pipeline that serializes the
+cooperative compute per device front while overlapping host stages and
+DMA transfers (the Lázaro-Muñoz command-concurrency idiom, in-sim).
+
+Layers:
+
+* :mod:`repro.serve.job` — :class:`Job`, :class:`JobRecord`, SLO classes
+  and the typed :class:`JobRejected` load-shedding rejection;
+* :mod:`repro.serve.profile` — measured per-(app, size) cost profiles
+  grounding each job's stage durations in one real cooperative run;
+* :mod:`repro.serve.server` — queues, admission, the weighted-fair
+  :class:`Dispatcher` loop and the per-job execution pipeline;
+* :mod:`repro.serve.workload` — seeded open-loop (Poisson / MMPP-style
+  on–off) and closed-loop (N clients, think time) arrival generators
+  over tenant mixes drawn from the polybench + irregular suites;
+* :mod:`repro.serve.run` — :class:`ServeConfig` (one reproducible
+  serving scenario) and :func:`run_serve` (execute + check + report).
+"""
+
+from repro.serve.job import (  # noqa: F401
+    SLO_DEADLINES,
+    Job,
+    JobRecord,
+    JobRejected,
+)
+from repro.serve.profile import AppProfile, measure_profile  # noqa: F401
+from repro.serve.run import ServeConfig, ServeReport, run_serve  # noqa: F401
+from repro.serve.server import Server  # noqa: F401
+from repro.serve.workload import (  # noqa: F401
+    TenantSpec,
+    default_tenant_mix,
+    spawn_workload,
+)
+
+__all__ = [
+    "SLO_DEADLINES",
+    "Job",
+    "JobRecord",
+    "JobRejected",
+    "AppProfile",
+    "measure_profile",
+    "ServeConfig",
+    "ServeReport",
+    "run_serve",
+    "Server",
+    "TenantSpec",
+    "default_tenant_mix",
+    "spawn_workload",
+]

@@ -1,0 +1,94 @@
+"""Jobs, SLO classes and the typed load-shedding rejection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.core import Event
+from repro.sim.timebase import from_ticks
+
+__all__ = ["SLO_DEADLINES", "Job", "JobRecord", "JobRejected"]
+
+
+#: SLO class -> end-to-end latency deadline in simulated seconds.
+#: ``best-effort`` has no deadline (always attained when the job completes).
+SLO_DEADLINES = {
+    "interactive": 2e-2,
+    "batch": 2e-1,
+    "best-effort": float("inf"),
+}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One client request: which tenant wants which app run at which scale."""
+
+    job_id: int
+    tenant: str
+    app: str
+    size: int
+    slo: str = "batch"
+
+    def __post_init__(self):
+        if self.slo not in SLO_DEADLINES:
+            raise ValueError(
+                f"unknown SLO class {self.slo!r}; have {sorted(SLO_DEADLINES)}"
+            )
+
+    @property
+    def deadline(self) -> float:
+        """Latency budget in simulated seconds (inf for best-effort)."""
+        return SLO_DEADLINES[self.slo]
+
+
+@dataclass
+class JobRecord:
+    """Mutable lifecycle state of one submitted job (tick timestamps)."""
+
+    job: Job
+    submitted_ticks: int
+    admitted_ticks: Optional[int] = None
+    started_ticks: Optional[int] = None
+    done_ticks: Optional[int] = None
+    #: "" while in flight; then "done", "shed" or "failed"
+    outcome: str = ""
+    #: fires when the job leaves the system (done or failed); closed-loop
+    #: clients block on it.  ``None`` for shed jobs (never enqueued).
+    done_event: Optional[Event] = field(default=None, repr=False)
+
+    @property
+    def latency_ticks(self) -> Optional[int]:
+        if self.done_ticks is None:
+            return None
+        return self.done_ticks - self.submitted_ticks
+
+    @property
+    def latency(self) -> Optional[float]:
+        ticks = self.latency_ticks
+        return None if ticks is None else from_ticks(ticks)
+
+    @property
+    def slo_attained(self) -> Optional[bool]:
+        """Whether the completed job met its SLO deadline (None in flight)."""
+        latency = self.latency
+        if latency is None:
+            return None
+        return self.outcome == "done" and latency <= self.job.deadline
+
+
+class JobRejected(Exception):
+    """Typed admission-control rejection (load shedding).
+
+    Carries the shed record so callers can account for it; ``reason`` is a
+    stable machine-readable string (currently always ``"queue-full"``).
+    """
+
+    def __init__(self, record: JobRecord, reason: str):
+        self.record = record
+        self.reason = reason
+        job = record.job
+        super().__init__(
+            f"job {job.job_id} ({job.tenant}/{job.app}@{job.size}) "
+            f"shed: {reason}"
+        )

@@ -1,0 +1,249 @@
+"""Seeded arrival generators over multi-tenant application mixes.
+
+Two client models, both fully deterministic per seed:
+
+* **Open loop** — arrivals keep coming regardless of server state, the
+  model that actually exposes queueing collapse (closed-loop clients
+  self-throttle and hide it).  ``poisson`` draws exponential
+  inter-arrival gaps at a fixed rate; ``burst`` is an MMPP-style on–off
+  process: a hidden two-state chain with exponential dwell times where
+  the ON state emits at ``burst_factor`` times the base rate and the OFF
+  state is silent (with ``on_fraction * burst_factor == 1`` the
+  time-averaged rate equals the base rate — the defaults satisfy this).
+* **Closed loop** — N client processes, each submitting one job, waiting
+  for it to finish (or be shed), thinking for an exponential gap, and
+  repeating until the shared request budget is spent.
+
+Every generator draws from its own ``random.Random`` seeded from the run
+seed, so arrival streams are independent of each other and of the
+simulator's own interleave jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.polybench.suite import SCALES
+from repro.serve.job import SLO_DEADLINES, Job, JobRecord, JobRejected
+from repro.serve.server import Server
+
+__all__ = ["TenantSpec", "default_tenant_mix", "spawn_workload"]
+
+
+#: apps cheap enough (at test scale) to profile inside a load test, with
+#: the SLO class their latency profile naturally fits
+_APP_POOL: Tuple[Tuple[str, str], ...] = (
+    ("bicg", "interactive"),
+    ("atax", "interactive"),
+    ("mvt", "interactive"),
+    ("gesummv", "interactive"),
+    ("spmv", "batch"),
+    ("scan", "batch"),
+    ("histogram", "batch"),
+    ("gemm", "best-effort"),
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the mix: which app it runs, under which SLO, how much
+    of the arrival stream it owns and its weighted-fair dispatch weight."""
+
+    name: str
+    app: str
+    size: int
+    slo: str = "batch"
+    #: weighted-fair dispatch weight (relative service share under backlog)
+    weight: float = 1.0
+    #: relative share of the arrival stream (normalized across the mix)
+    share: float = 1.0
+
+    def __post_init__(self):
+        if self.slo not in SLO_DEADLINES:
+            raise ValueError(
+                f"unknown SLO class {self.slo!r}; have {sorted(SLO_DEADLINES)}"
+            )
+        if self.weight <= 0 or self.share <= 0:
+            raise ValueError("tenant weight and share must be > 0")
+
+
+def default_tenant_mix(seed: int, n: int = 3) -> Tuple[TenantSpec, ...]:
+    """Draw ``n`` tenants reproducibly from the cheap-app pool.
+
+    Tenants are named ``tenant0..tenantN-1``; apps rotate through a
+    seed-shuffled pool (test-scale sizes) and shares/weights skew the
+    first tenant heavier, so fairness under backlog is observable.
+    """
+    if n < 1:
+        raise ValueError("need at least one tenant")
+    rng = random.Random(f"fluidicl-serve-mix:{seed}")
+    pool = list(_APP_POOL)
+    rng.shuffle(pool)
+    mix = []
+    for i in range(n):
+        app, slo = pool[i % len(pool)]
+        mix.append(TenantSpec(
+            name=f"tenant{i}",
+            app=app,
+            size=SCALES["test"][app],
+            slo=slo,
+            weight=2.0 if i == 0 else 1.0,
+            share=2.0 if i == 0 else 1.0,
+        ))
+    return tuple(mix)
+
+
+class _JobIds:
+    """Monotonic job-id allocator shared across generator processes."""
+
+    __slots__ = ("next_id", "remaining")
+
+    def __init__(self, budget: int):
+        self.next_id = 0
+        self.remaining = budget
+
+    def take(self) -> Optional[int]:
+        if self.remaining <= 0:
+            return None
+        self.remaining -= 1
+        job_id = self.next_id
+        self.next_id += 1
+        return job_id
+
+
+def _pick_tenant(rng: random.Random,
+                 tenants: Sequence[TenantSpec]) -> TenantSpec:
+    total = sum(t.share for t in tenants)
+    point = rng.random() * total
+    acc = 0.0
+    for tenant in tenants:
+        acc += tenant.share
+        if point < acc:
+            return tenant
+    return tenants[-1]
+
+
+def _submit(server: Server, ids: _JobIds, tenant: TenantSpec,
+            records: List[JobRecord]) -> Optional[JobRecord]:
+    """Submit one job for ``tenant``; returns None when the budget is
+    exhausted, the shed record when admission rejects it."""
+    job_id = ids.take()
+    if job_id is None:
+        return None
+    job = Job(job_id=job_id, tenant=tenant.name, app=tenant.app,
+              size=tenant.size, slo=tenant.slo)
+    try:
+        record = server.submit(job)
+    except JobRejected as rejection:
+        record = rejection.record
+    records.append(record)
+    return record
+
+
+def _open_loop(server: Server, tenants: Sequence[TenantSpec],
+               ids: _JobIds, records: List[JobRecord],
+               rng: random.Random, rate: float,
+               burst_factor: float, on_fraction: float):
+    """One open-loop arrival process (poisson when ``burst_factor == 1``)."""
+    engine = server.engine
+    bursty = burst_factor != 1.0
+    # MMPP dwell means: cycles ~20 mean inter-arrivals long, split by
+    # on_fraction; the ON-state rate is burst_factor * rate.
+    cycle = 20.0 / rate
+    mean_on = max(cycle * on_fraction, 1e-12)
+    mean_off = max(cycle * (1.0 - on_fraction), 1e-12)
+    on_left = rng.expovariate(1.0 / mean_on) if bursty else float("inf")
+    while True:
+        if bursty:
+            gap = rng.expovariate(rate * burst_factor)
+            while gap > on_left:
+                # The gap outlives the ON dwell: finish it, sit out one
+                # silent OFF dwell, and redraw in the next ON burst.
+                yield engine.timeout(on_left)
+                yield engine.timeout(rng.expovariate(1.0 / mean_off))
+                on_left = rng.expovariate(1.0 / mean_on)
+                gap = rng.expovariate(rate * burst_factor)
+            on_left -= gap
+        else:
+            gap = rng.expovariate(rate)
+        yield engine.timeout(gap)
+        if _submit(server, ids, _pick_tenant(rng, tenants), records) is None:
+            return
+
+
+def _closed_loop_client(server: Server, tenants: Sequence[TenantSpec],
+                        ids: _JobIds, records: List[JobRecord],
+                        rng: random.Random, think_time: float):
+    """One closed-loop client: submit, await completion, think, repeat."""
+    engine = server.engine
+    while True:
+        record = _submit(server, ids, _pick_tenant(rng, tenants), records)
+        if record is None:
+            return
+        if record.done_event is not None:
+            yield record.done_event
+        if think_time > 0.0:
+            yield engine.timeout(rng.expovariate(1.0 / think_time))
+
+
+def spawn_workload(server: Server, tenants: Sequence[TenantSpec],
+                   requests: int, seed: int, arrival: str = "poisson",
+                   rate: float = 1000.0, burst_factor: float = 4.0,
+                   on_fraction: float = 0.25, clients: int = 8,
+                   think_time: float = 1e-3) -> Tuple[object, List[JobRecord]]:
+    """Start the arrival generators for one serving run.
+
+    Returns ``(done_process, records)``: a process that triggers once
+    every generator has finished *and* the server's intake has been
+    closed, plus the (live, append-ordered) list of every job record the
+    workload produced — shed ones included.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if requests < 1:
+        raise ValueError("need at least one request")
+    if arrival not in ("poisson", "burst", "closed"):
+        raise ValueError(f"unknown arrival model {arrival!r}")
+    if rate <= 0:
+        raise ValueError("arrival rate must be > 0")
+    if not 0.0 < on_fraction < 1.0:
+        raise ValueError("on_fraction must be in (0, 1)")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+    engine = server.engine
+    ids = _JobIds(requests)
+    records: List[JobRecord] = []
+    if arrival == "closed":
+        if clients < 1:
+            raise ValueError("closed-loop needs at least one client")
+        generators = [
+            engine.process(
+                _closed_loop_client(
+                    server, tenants, ids, records,
+                    random.Random(f"fluidicl-serve:{seed}:client{i}"),
+                    think_time,
+                ),
+                name=f"serve:client{i}",
+            )
+            for i in range(clients)
+        ]
+    else:
+        generators = [engine.process(
+            _open_loop(
+                server, tenants, ids, records,
+                random.Random(f"fluidicl-serve:{seed}:arrivals"),
+                rate,
+                burst_factor if arrival == "burst" else 1.0,
+                on_fraction,
+            ),
+            name="serve:arrivals",
+        )]
+
+    def _closer():
+        yield engine.all_of(generators)
+        server.close_intake()
+
+    done = engine.process(_closer(), name="serve:workload-done")
+    return done, records

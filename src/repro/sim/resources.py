@@ -79,19 +79,46 @@ class Resource:
             nxt.succeed()
 
 
+class _ChannelClosed:
+    """Singleton sentinel a closed channel resolves gets with (opt-in)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Channel.CLOSED>"
+
+
 class Channel:
     """Unbounded FIFO mailbox between processes.
 
     :meth:`put` never blocks; :meth:`get` returns an event that triggers with
     the next item (immediately if one is queued).
+
+    By default a closed channel resolves pending and future gets with
+    ``None`` — indistinguishable from a legitimately queued ``None`` item.
+    Consumers that need to tell shutdown from payload (e.g. a dispatcher
+    draining job queues) construct the channel with
+    ``close_value=Channel.CLOSED`` and compare the get result against the
+    :data:`Channel.CLOSED` sentinel, which no producer can ever enqueue.
     """
 
-    def __init__(self, engine: Engine, name: str = "channel"):
+    #: sentinel distinguishing "channel closed" from a queued ``None``
+    CLOSED = _ChannelClosed()
+
+    def __init__(self, engine: Engine, name: str = "channel",
+                 close_value: Any = None):
         self.engine = engine
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._closed = False
+        self._close_value = close_value
+
+    def put(self, item: Any) -> None:
+        if item is Channel.CLOSED:
+            raise SimError(
+                f"cannot put the CLOSED sentinel on channel {self.name!r}")
+        self._put(item)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -100,7 +127,7 @@ class Channel:
     def closed(self) -> bool:
         return self._closed
 
-    def put(self, item: Any) -> None:
+    def _put(self, item: Any) -> None:
         if self._closed:
             raise SimError(f"put on closed channel {self.name!r}")
         if self._getters:
@@ -113,18 +140,19 @@ class Channel:
         if self._items:
             event.succeed(self._items.popleft())
         elif self._closed:
-            event.succeed(None)
+            event.succeed(self._close_value)
         else:
             self._getters.append(event)
         return event
 
     def close(self) -> None:
-        """Close the channel; pending and future gets resolve with ``None``."""
+        """Close the channel; pending and future gets resolve with the
+        channel's ``close_value`` (``None`` by default)."""
         if self._closed:
             return
         self._closed = True
         while self._getters:
-            self._getters.popleft().succeed(None)
+            self._getters.popleft().succeed(self._close_value)
 
     def peek(self) -> Optional[Any]:
         return self._items[0] if self._items else None

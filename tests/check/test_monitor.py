@@ -392,3 +392,83 @@ class TestClockMonotonicityInvariant:
         feed(recorder, "cmd_start", ts=5e-6)
         with pytest.raises(InvariantViolationError):
             feed(recorder, "cmd_start", ts=3e-6)
+
+
+def feed_clean_job(recorder, job_id=0, tenant="acme", ts=0.0):
+    """A well-formed serving-layer job lifecycle."""
+    feed(recorder, "job_submitted", ts=ts, job_id=job_id, tenant=tenant)
+    feed(recorder, "job_admitted", ts=ts, job_id=job_id, tenant=tenant)
+    feed(recorder, "job_started", ts=ts + 1e-6, job_id=job_id, tenant=tenant)
+    feed(recorder, "job_done", ts=ts + 2e-6, job_id=job_id, tenant=tenant,
+         outcome="done")
+
+
+class TestServeAccountingInvariant:
+    """Invariant #12: admission conservation and per-tenant FIFO order."""
+
+    def test_clean_lifecycles_pass(self):
+        recorder, monitor = make_monitor()
+        for job_id in range(3):
+            feed_clean_job(recorder, job_id=job_id, ts=job_id * 1e-5)
+        feed(recorder, "job_submitted", ts=1e-3, job_id=9, tenant="acme")
+        feed(recorder, "job_shed", ts=1e-3, job_id=9, tenant="acme")
+        monitor.final_check()
+        assert monitor.ok, monitor.report()
+
+    def test_duplicate_submission_flagged(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "job_submitted", job_id=1, tenant="acme")
+        feed(recorder, "job_submitted", job_id=1, tenant="acme")
+        assert first_invariant(monitor) == "serve-accounting"
+
+    def test_fifo_inversion_flagged(self):
+        recorder, monitor = make_monitor()
+        for job_id in (1, 2):
+            feed(recorder, "job_submitted", job_id=job_id, tenant="acme")
+            feed(recorder, "job_admitted", job_id=job_id, tenant="acme")
+        # job 2 jumps the queue ahead of job 1
+        feed(recorder, "job_started", job_id=2, tenant="acme")
+        assert first_invariant(monitor) == "serve-accounting"
+        assert "FIFO" in str(monitor.violations[0])
+
+    def test_cross_tenant_order_is_free(self):
+        recorder, monitor = make_monitor()
+        for job_id, tenant in ((1, "a"), (2, "b")):
+            feed(recorder, "job_submitted", job_id=job_id, tenant=tenant)
+            feed(recorder, "job_admitted", job_id=job_id, tenant=tenant)
+        feed(recorder, "job_started", job_id=2, tenant="b")
+        feed(recorder, "job_started", job_id=1, tenant="a")
+        assert monitor.ok, monitor.report()
+
+    def test_start_of_shed_job_flagged(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "job_submitted", job_id=1, tenant="acme")
+        feed(recorder, "job_shed", job_id=1, tenant="acme")
+        feed(recorder, "job_started", job_id=1, tenant="acme")
+        assert first_invariant(monitor) == "serve-accounting"
+
+    def test_done_without_start_flagged(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "job_submitted", job_id=1, tenant="acme")
+        feed(recorder, "job_admitted", job_id=1, tenant="acme")
+        feed(recorder, "job_done", job_id=1, tenant="acme", outcome="done")
+        assert first_invariant(monitor) == "serve-accounting"
+
+    def test_unresolved_submission_flagged_at_final_check(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "job_submitted", job_id=1, tenant="acme")
+        assert monitor.ok  # online it's fine: admission may be in flight
+        monitor.final_check()
+        assert first_invariant(monitor) == "serve-accounting"
+
+    def test_unfinished_admitted_job_flagged_unless_aborted(self):
+        recorder, monitor = make_monitor()
+        feed(recorder, "job_submitted", job_id=1, tenant="acme")
+        feed(recorder, "job_admitted", job_id=1, tenant="acme")
+        monitor.final_check(aborted=True)
+        assert monitor.ok, monitor.report()
+        recorder2, monitor2 = make_monitor()
+        feed(recorder2, "job_submitted", job_id=1, tenant="acme")
+        feed(recorder2, "job_admitted", job_id=1, tenant="acme")
+        monitor2.final_check()
+        assert first_invariant(monitor2) == "serve-accounting"

@@ -1,5 +1,7 @@
 """Tests for the background-load generator."""
 
+from fractions import Fraction
+
 import numpy as np
 import pytest
 
@@ -67,6 +69,63 @@ class TestBackgroundLoad:
         load.stop()
         machine.engine.run()  # must terminate (no live infinite process)
         assert load.busy_time > 0
+
+    def test_long_run_duty_is_tick_exact(self):
+        """Pre-fix regression: float deficit accounting drifted.
+
+        With a µs-aligned period the fair-share accounting must be exact:
+        over one simulated second of uncontended operation the load's
+        busy share is *exactly* ``duty`` — the float rendered from the
+        integer tick count equals the duty float bit for bit (0.8 s of
+        busy time out of 1.0 s).  The pre-PR float implementation summed
+        ``busy_time += burst`` and did ``engine.now`` subtractions, so
+        the total carried accumulated rounding residue.
+        """
+        machine = build_machine()
+        device = Platform(machine).cpu
+        load = BackgroundLoad(device, duty=0.8, period=5e-4)
+        machine.engine.run_for(1.0)
+        elapsed_ticks = machine.engine.now_ticks
+        load.stop()
+        machine.engine.run()
+        assert load.busy_time == 0.8
+        # and the tick ledger carries the duty share exactly (the exact
+        # rational value of the float 0.8, not the decimal 4/5)
+        assert Fraction(load.busy_ticks, elapsed_ticks) == Fraction(0.8)
+
+    def test_stop_mid_burst_credits_elapsed_portion(self):
+        """Pre-fix regression: an interrupt during the burst timeout
+        skipped the ``busy_time`` accounting entirely (the ``finally``
+        released the slot but the credit line was only reached on normal
+        resume), under-reporting occupancy by a whole burst.
+
+        duty=0.5 / period=2 ms bursts occupy [0, 1 ms) and [2 ms, 3 ms);
+        stopping at 2.5 ms must credit 1 ms + 0.5 ms = 1.5 ms exactly.
+        """
+        machine = build_machine()
+        device = Platform(machine).cpu
+        load = BackgroundLoad(device, duty=0.5, period=2e-3)
+        machine.engine.run_for(2.5e-3)
+        load.stop()
+        machine.engine.run()
+        assert load.busy_time == 0.0015
+
+    def test_stop_while_waiting_for_slot_releases_request(self):
+        """Stopping a load that is queued behind another compute user must
+        cancel its pending request, or the slot would leak when granted."""
+        machine = build_machine()
+        device = Platform(machine).cpu
+        hold = device.compute.request()  # hog the engine from t=0
+        machine.engine.run(hold)
+        load = BackgroundLoad(device, duty=0.5, period=2e-3)
+        machine.engine.run_for(1e-3)
+        load.stop()
+        machine.engine.run()
+        assert load.busy_time == 0.0
+        device.compute.release(hold)
+        machine.engine.run()
+        assert device.compute.in_use == 0
+        assert device.compute.queue_length == 0
 
     def test_fluidicl_stays_correct_under_load(self):
         machine = build_machine()

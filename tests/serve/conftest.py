@@ -1,0 +1,53 @@
+"""Shared fixtures for the serving-layer tests.
+
+``toy_profiles`` sidesteps :func:`repro.serve.profile.measure_profile`
+(which runs a real cooperative execution) with hand-built
+:class:`AppProfile` values, so dispatcher/admission tests run in
+microseconds of simulated time and assert exact schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import build_machine
+from repro.serve.job import Job
+from repro.serve.profile import AppProfile
+from repro.serve.server import Server
+
+GPU = "Tesla C2070"
+CPU = "Xeon W3550"
+
+
+def toy_profile(app="toy", size=64, compute=1e-4, host=1e-5,
+                h2d=4096, d2h=4096):
+    """A two-device profile with GPU carrying 3/4 of the work."""
+    return AppProfile(
+        app=app,
+        size=size,
+        machine="default",
+        elapsed_seconds=compute + host,
+        compute_seconds=compute,
+        host_seconds=host,
+        h2d_bytes={GPU: h2d, CPU: h2d // 4},
+        d2h_bytes={GPU: d2h, CPU: d2h // 4},
+        fractions={GPU: 0.75, CPU: 0.25},
+    )
+
+
+@pytest.fixture
+def toy_profiles():
+    return {("toy", 64): toy_profile()}
+
+
+@pytest.fixture
+def serve_machine():
+    return build_machine(trace=True)
+
+
+def make_server(machine, profiles, **kwargs):
+    return Server(machine, profiles, **kwargs)
+
+
+def make_job(job_id, tenant="tenant0", app="toy", size=64, slo="batch"):
+    return Job(job_id=job_id, tenant=tenant, app=app, size=size, slo=slo)

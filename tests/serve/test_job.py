@@ -1,0 +1,56 @@
+"""Unit tests for jobs, SLO classes and the typed rejection."""
+
+import pytest
+
+from repro.serve.job import SLO_DEADLINES, Job, JobRecord, JobRejected
+from repro.sim.timebase import to_ticks
+
+
+class TestJob:
+    def test_deadline_follows_slo_class(self):
+        assert Job(0, "t", "toy", 64, slo="interactive").deadline == 2e-2
+        assert Job(1, "t", "toy", 64, slo="batch").deadline == 2e-1
+        assert Job(2, "t", "toy", 64, slo="best-effort").deadline == float("inf")
+
+    def test_unknown_slo_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0, "t", "toy", 64, slo="platinum")
+
+    def test_slo_table_is_the_single_source(self):
+        assert set(SLO_DEADLINES) == {"interactive", "batch", "best-effort"}
+
+
+class TestJobRecord:
+    def test_latency_is_tick_exact(self):
+        record = JobRecord(job=Job(0, "t", "toy", 64),
+                           submitted_ticks=to_ticks(1e-3))
+        assert record.latency is None
+        record.done_ticks = to_ticks(5e-3)
+        record.outcome = "done"
+        assert record.latency == 4e-3  # exact: µs-aligned tick difference
+
+    def test_slo_attained_requires_done_within_deadline(self):
+        record = JobRecord(job=Job(0, "t", "toy", 64, slo="interactive"),
+                           submitted_ticks=0)
+        assert record.slo_attained is None
+        record.done_ticks = to_ticks(1e-2)  # within the 20 ms budget
+        record.outcome = "done"
+        assert record.slo_attained is True
+        record.outcome = "failed"
+        assert record.slo_attained is False
+
+    def test_late_completion_misses_slo(self):
+        record = JobRecord(job=Job(0, "t", "toy", 64, slo="interactive"),
+                           submitted_ticks=0, outcome="done",
+                           done_ticks=to_ticks(5e-2))
+        assert record.slo_attained is False
+
+
+class TestJobRejected:
+    def test_carries_record_and_reason(self):
+        record = JobRecord(job=Job(7, "acme", "toy", 64), submitted_ticks=0,
+                           outcome="shed")
+        err = JobRejected(record, "queue-full")
+        assert err.record is record
+        assert err.reason == "queue-full"
+        assert "acme" in str(err) and "queue-full" in str(err)

@@ -1,0 +1,148 @@
+"""Tenant-mix and arrival-generator tests (repro.serve.workload)."""
+
+import pytest
+
+from repro.hw.machine import build_machine
+from repro.serve.workload import TenantSpec, default_tenant_mix, spawn_workload
+
+from tests.serve.conftest import make_server, toy_profile
+
+
+def toy_tenants(n=1, **overrides):
+    return tuple(
+        TenantSpec(name=f"t{i}", app="toy", size=64, **overrides)
+        for i in range(n)
+    )
+
+
+def serve_pair(max_queue_depth=64, max_inflight=4):
+    machine = build_machine()
+    server = make_server(machine, {("toy", 64): toy_profile()},
+                         max_queue_depth=max_queue_depth,
+                         max_inflight=max_inflight)
+    return machine, server
+
+
+class TestTenantSpec:
+    def test_rejects_unknown_slo(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", "toy", 64, slo="gold")
+
+    def test_rejects_nonpositive_weight_and_share(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", "toy", 64, weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", "toy", 64, share=-1.0)
+
+
+class TestDefaultMix:
+    def test_same_seed_same_mix(self):
+        assert default_tenant_mix(7) == default_tenant_mix(7)
+
+    def test_different_seeds_reshuffle_apps(self):
+        apps = {tuple(t.app for t in default_tenant_mix(s)) for s in range(8)}
+        assert len(apps) > 1
+
+    def test_first_tenant_is_heavy(self):
+        mix = default_tenant_mix(0, n=3)
+        assert [t.name for t in mix] == ["tenant0", "tenant1", "tenant2"]
+        assert mix[0].weight == mix[0].share == 2.0
+        assert mix[1].weight == mix[2].weight == 1.0
+
+    def test_needs_at_least_one_tenant(self):
+        with pytest.raises(ValueError):
+            default_tenant_mix(0, n=0)
+
+
+class TestSpawnValidation:
+    def test_bad_parameters_rejected(self):
+        machine, server = serve_pair()
+        tenants = toy_tenants()
+        with pytest.raises(ValueError):
+            spawn_workload(server, (), requests=1, seed=0)
+        with pytest.raises(ValueError):
+            spawn_workload(server, tenants, requests=0, seed=0)
+        with pytest.raises(ValueError):
+            spawn_workload(server, tenants, requests=1, seed=0,
+                           arrival="uniform")
+        with pytest.raises(ValueError):
+            spawn_workload(server, tenants, requests=1, seed=0, rate=0.0)
+        with pytest.raises(ValueError):
+            spawn_workload(server, tenants, requests=1, seed=0,
+                           arrival="burst", on_fraction=1.0)
+        with pytest.raises(ValueError):
+            spawn_workload(server, tenants, requests=1, seed=0,
+                           arrival="burst", burst_factor=0.5)
+        with pytest.raises(ValueError):
+            spawn_workload(server, tenants, requests=1, seed=0,
+                           arrival="closed", clients=0)
+
+
+class TestBudget:
+    @pytest.mark.parametrize("arrival", ["poisson", "burst", "closed"])
+    def test_exactly_requests_records(self, arrival):
+        machine, server = serve_pair()
+        _done, records = spawn_workload(
+            server, toy_tenants(n=2), requests=30, seed=3,
+            arrival=arrival, rate=5000.0, clients=3, think_time=1e-4)
+        machine.engine.run()
+        assert len(records) == 30
+        assert sorted(r.job.job_id for r in records) == list(range(30))
+        assert all(r.outcome in ("done", "shed") for r in records)
+
+    def test_intake_closes_after_budget(self):
+        machine, server = serve_pair()
+        done, _records = spawn_workload(
+            server, toy_tenants(), requests=5, seed=0, rate=5000.0)
+        machine.engine.run()
+        assert done.triggered
+        from repro.serve.job import Job
+        from repro.sim.core import SimError
+        with pytest.raises(SimError):
+            server.submit(Job(job_id=99, tenant="t0", app="toy", size=64))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("arrival", ["poisson", "burst", "closed"])
+    def test_same_seed_identical_arrival_ticks(self, arrival):
+        def run(seed):
+            machine, server = serve_pair()
+            _done, records = spawn_workload(
+                server, toy_tenants(n=2), requests=40, seed=seed,
+                arrival=arrival, rate=3000.0, clients=4, think_time=1e-4)
+            machine.engine.run()
+            return [(r.job.job_id, r.job.tenant, r.submitted_ticks)
+                    for r in records]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_share_skews_the_arrival_stream(self):
+        heavy = TenantSpec("heavy", "toy", 64, share=9.0)
+        light = TenantSpec("light", "toy", 64, share=1.0)
+        machine, server = serve_pair()
+        _done, records = spawn_workload(
+            server, (heavy, light), requests=200, seed=0, rate=5000.0)
+        machine.engine.run()
+        heavy_n = sum(1 for r in records if r.job.tenant == "heavy")
+        assert heavy_n > 150  # ~180 expected at 9:1 shares
+
+    def test_burst_clusters_arrivals(self):
+        """MMPP arrivals have a higher inter-arrival variance than a
+        Poisson stream of the same average rate."""
+        def gaps(arrival):
+            machine, server = serve_pair()
+            _done, records = spawn_workload(
+                server, toy_tenants(), requests=300, seed=5,
+                arrival=arrival, rate=2000.0, burst_factor=8.0,
+                on_fraction=0.125)
+            machine.engine.run()
+            ticks = sorted(r.submitted_ticks for r in records)
+            return [b - a for a, b in zip(ticks, ticks[1:])]
+
+        def cv2(samples):
+            mean = sum(samples) / len(samples)
+            var = sum((s - mean) ** 2 for s in samples) / len(samples)
+            return var / (mean * mean)
+
+        assert cv2(gaps("burst")) > 1.5 * cv2(gaps("poisson"))

@@ -136,3 +136,38 @@ class TestChannel:
         channel.close()
         channel.close()
         assert channel.closed
+
+    def test_default_close_is_ambiguous_with_queued_none(self, engine):
+        """The documented default: a queued ``None`` payload and the close
+        resolution are indistinguishable (existing callers rely on it)."""
+        channel = Channel(engine)
+        channel.put(None)
+        queued = engine.run(channel.get())
+        channel.close()
+        closed = engine.run(channel.get())
+        assert queued is None and closed is None  # can't tell them apart
+
+    def test_closed_sentinel_distinguishes_shutdown_from_payload(self, engine):
+        channel = Channel(engine, close_value=Channel.CLOSED)
+        channel.put(None)  # a legitimate None payload
+        assert engine.run(channel.get()) is None
+        channel.close()
+        assert engine.run(channel.get()) is Channel.CLOSED
+
+    def test_closed_sentinel_delivered_after_queued_items_drain(self, engine):
+        channel = Channel(engine, close_value=Channel.CLOSED)
+        channel.put("job")
+        channel.close()
+        assert engine.run(channel.get()) == "job"
+        assert engine.run(channel.get()) is Channel.CLOSED
+
+    def test_closed_sentinel_wakes_pending_getters(self, engine):
+        channel = Channel(engine, close_value=Channel.CLOSED)
+        get_event = channel.get()
+        channel.close()
+        assert engine.run(get_event) is Channel.CLOSED
+
+    def test_putting_the_sentinel_is_rejected(self, engine):
+        channel = Channel(engine)
+        with pytest.raises(SimError):
+            channel.put(Channel.CLOSED)
